@@ -1,0 +1,19 @@
+"""Benchmark support: result-table writer shared by all figures."""
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+@pytest.fixture
+def write_table():
+    """Persist a rendered result table under ``benchmarks/results/``."""
+
+    def write(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print(f"\n{name}:\n{text}")
+
+    return write

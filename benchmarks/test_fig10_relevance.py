@@ -1,0 +1,25 @@
+"""Fig. 10: runtime characterization, CPU vs accelerator offload.
+
+Regenerates the (dims, accel_size, accel_version) -> task-clock series.
+Expected shape: offload only becomes relevant for dims >= 64 with
+accelerator size >= 8; below either threshold the CPU is faster.
+"""
+
+from repro.experiments import fig10_rows, format_table
+
+COLUMNS = ("dims", "accel_size", "accel_version", "task_clock_ms")
+
+
+def test_fig10_relevance(benchmark, write_table):
+    rows = benchmark.pedantic(fig10_rows, rounds=1, iterations=1)
+    write_table("fig10_relevance", format_table(rows, COLUMNS))
+
+    cpu = {r["dims"]: r["task_clock_ms"] for r in rows
+           if r["accel_version"] == "NONE"}
+    accel = {(r["dims"], r["accel_size"]): r["task_clock_ms"]
+             for r in rows if r["accel_version"] == "v1"}
+    # CPU wins all small problems; size-16 offload wins from dims == 64.
+    assert all(cpu[d] < accel[(d, s)] for d in (16, 32) for s in (4, 8, 16))
+    assert accel[(64, 16)] < cpu[64]
+    assert accel[(128, 8)] < cpu[128]
+    assert accel[(128, 4)] > cpu[128]

@@ -1,0 +1,33 @@
+"""Fig. 11: manual Ns vs AXI4MLIR-generated flows, before the MemRef
+copy specialization.
+
+Expected shape: the generated Ns driver (recursive element-wise copies)
+is slower than the hand-written Ns baseline; the Cs flow already
+improves on generated Ns, but the real gains need the Fig. 12 copy
+optimization.
+"""
+
+from repro.experiments import fig11_rows, format_table
+
+COLUMNS = ("dims", "accel_size", "accel_version", "impl", "flow",
+           "task_clock_ms")
+
+
+def test_fig11_flows(benchmark, write_table):
+    rows = benchmark.pedantic(fig11_rows, rounds=1, iterations=1)
+    write_table("fig11_flows", format_table(rows, COLUMNS))
+
+    def ms(dims, size, version, impl, flow):
+        return next(
+            r["task_clock_ms"] for r in rows
+            if (r["dims"], r["accel_size"], r["accel_version"],
+                r["impl"], r["flow"])
+            == (dims, size, f"v{version}", impl, flow)
+        )
+
+    for dims in (64, 128):
+        for size in (8, 16):
+            assert ms(dims, size, 3, "mlir_AXI4MLIR", "Ns") > \
+                ms(dims, size, 3, "cpp_MANUAL", "Ns")
+            assert ms(dims, size, 3, "mlir_AXI4MLIR", "Cs") < \
+                ms(dims, size, 3, "mlir_AXI4MLIR", "Ns")

@@ -1,0 +1,35 @@
+"""Fig. 12: perf counters without (a) / with (b) the MemRef-DMA copy
+specialization, v3-16 accelerator, dims == 128, normalized to mlir_CPU.
+
+Expected shape: panel (a) — generated code has more branches, cache
+references, and task-clock than the manual driver; panel (b) — the
+specialized copies put every generated flow below the manual driver on
+all three metrics.
+"""
+
+from repro.experiments import fig12_rows, format_table
+
+COLUMNS = ("panel", "impl", "flow", "branch-instructions",
+           "cache-references", "task-clock")
+
+
+def test_fig12_copy_optimization(benchmark, write_table):
+    rows = benchmark.pedantic(fig12_rows, rounds=1, iterations=1)
+    write_table("fig12_copyopt", format_table(rows, COLUMNS))
+
+    def pick(panel, impl, flow):
+        return next(r for r in rows
+                    if (r["panel"].startswith(panel), r["impl"],
+                        r["flow"]) == (True, impl, flow))
+
+    manual = pick("12a", "cpp_MANUAL", "Ns")
+    unopt = pick("12a", "mlir_AXI4MLIR", "Ns")
+    for metric in ("branch-instructions", "cache-references", "task-clock"):
+        assert unopt[metric] > manual[metric]
+
+    manual_b = pick("12b", "cpp_MANUAL", "Ns")
+    for flow in ("Ns", "As", "Bs", "Cs"):
+        optimized = pick("12b", "mlir_AXI4MLIR", flow)
+        for metric in ("branch-instructions", "cache-references",
+                       "task-clock"):
+            assert optimized[metric] < manual_b[metric]

@@ -1,0 +1,27 @@
+"""Fig. 13: the headline comparison — manual vs AXI4MLIR-generated
+driver code with matched (dims, accel size, version, flow).
+
+Expected shape: AXI4MLIR is faster in every configuration (paper:
+1.18x average, 1.65x max speedup; up to 56% fewer cache references).
+"""
+
+from repro.experiments import fig13_rows, format_table
+
+COLUMNS = ("dims", "accel_size", "accel_version", "flow",
+           "cpp_MANUAL_ms", "mlir_AXI4MLIR_ms", "speedup",
+           "cache_ref_reduction")
+
+
+def test_fig13_headline(benchmark, write_table):
+    rows = benchmark.pedantic(fig13_rows, rounds=1, iterations=1)
+    speedups = [r["speedup"] for r in rows]
+    mean = sum(speedups) / len(speedups)
+    summary = format_table(rows, COLUMNS) + (
+        f"\n\nmean speedup {mean:.3f}, max {max(speedups):.3f}, "
+        f"max cache-ref reduction "
+        f"{max(r['cache_ref_reduction'] for r in rows):.3f}"
+    )
+    write_table("fig13_headline", summary)
+
+    assert all(s > 1.0 for s in speedups)
+    assert 1.05 <= mean <= 1.45

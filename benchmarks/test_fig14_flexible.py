@@ -1,0 +1,28 @@
+"""Fig. 14: MatMul problem permutations on the flexible-size v4
+accelerator: square-tile heuristics vs the Best (flexible) heuristic.
+
+Expected shape: the best square flow changes with the problem
+permutation, and Best (rectangular tiles + free flow choice) is never
+worse than any square strategy.
+"""
+
+from repro.experiments import fig14_rows, format_table
+
+COLUMNS = ("dims", "As-squareTile_ms", "Bs-squareTile_ms",
+           "Cs-squareTile_ms", "Best_ms", "Best_config")
+
+
+def test_fig14_flexible_tiling(benchmark, write_table):
+    rows = benchmark.pedantic(fig14_rows, rounds=1, iterations=1)
+    write_table("fig14_flexible", format_table(rows, COLUMNS))
+
+    winners = set()
+    for row in rows:
+        squares = {
+            "As": row["As-squareTile_ms"],
+            "Bs": row["Bs-squareTile_ms"],
+            "Cs": row["Cs-squareTile_ms"],
+        }
+        winners.add(min(squares, key=squares.get))
+        assert row["Best_ms"] <= min(squares.values()) * 1.001
+    assert len(winners) >= 2

@@ -1,0 +1,26 @@
+"""Fig. 16: ResNet18 convolution layers, AXI4MLIR vs manual driver,
+normalized to the manual (cpp_MANUAL) run per layer.
+
+Expected shape: AXI4MLIR wins on every fHW >= 3 layer via lower cache
+reference counts; fHW == 1 layers regress because the strided-copy
+specialization cannot apply to single-element rows (the paper's
+56_64_1_128_2 regression).  Layers run spatially scaled by default;
+set REPRO_FULL_SCALE=1 for the full shapes.
+"""
+
+from repro.experiments import fig16_rows, format_table
+
+COLUMNS = ("layer", "branch_instructions", "cache_references",
+           "task_clock", "speedup")
+
+
+def test_fig16_resnet_layers(benchmark, write_table):
+    rows = benchmark.pedantic(fig16_rows, rounds=1, iterations=1)
+    wins = sum(r["speedup"] > 1.0 for r in rows)
+    write_table(
+        "fig16_resnet",
+        format_table(rows, COLUMNS) + f"\n\nwins: {wins}/{len(rows)}",
+    )
+    assert wins >= 7
+    regression = next(r for r in rows if r["layer"] == "56_64_1_128_2")
+    assert regression["speedup"] < 1.0

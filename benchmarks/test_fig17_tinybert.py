@@ -1,0 +1,26 @@
+"""Fig. 17: TinyBERT end-to-end co-execution, batch size 2.
+
+Expected shape: matmuls dominate CPU-only runtime (~75%); offloading
+them (Ns-SquareTile) gives a large end-to-end speedup; the Best
+flexible-tiling heuristic improves further, with matmul-layer speedups
+well above the end-to-end speedup.
+"""
+
+from repro.experiments import fig17_rows, format_table
+
+COLUMNS = ("strategy", "other_layers_s", "matmuls_cpu_s", "matmuls_acc_s",
+           "e2e_s", "e2e_speedup", "matmul_speedup")
+
+
+def test_fig17_tinybert(benchmark, write_table):
+    rows = benchmark.pedantic(fig17_rows, rounds=1, iterations=1)
+    write_table("fig17_tinybert", format_table(rows, COLUMNS))
+
+    by_strategy = {r["strategy"]: r for r in rows}
+    cpu = by_strategy["CPU (MLIR)"]
+    ns = by_strategy["Ns-SquareTile"]
+    best = by_strategy["AXI4MLIR Best"]
+    assert 0.70 <= cpu["matmuls_cpu_s"] / cpu["e2e_s"] <= 0.85
+    assert best["e2e_s"] < ns["e2e_s"] < cpu["e2e_s"]
+    assert best["e2e_speedup"] > 2.0
+    assert best["matmul_speedup"] > best["e2e_speedup"]

@@ -1,0 +1,12 @@
+"""Table I: the accelerator catalog (type, reuse, opcodes, throughput)."""
+
+from repro.experiments import format_table, table1_rows
+
+COLUMNS = ("type", "possible_reuse", "opcodes", "size", "ops_per_cycle",
+           "flows")
+
+
+def test_table1_catalog(benchmark, write_table):
+    rows = benchmark(table1_rows)
+    write_table("table1_catalog", format_table(rows, COLUMNS))
+    assert len(rows) == 12  # 4 versions x 3 sizes

@@ -1,0 +1,60 @@
+"""Dataflow exploration: one accelerator, four flows, zero rewrites.
+
+The paper's central productivity claim: switching the host-accelerator
+dataflow (Nothing/A/B/C-stationary) is a one-line change in the
+configuration, and the compiler regenerates the driver — no manual
+rewrite.  This example compiles all four flows for the same v3
+accelerator, shows how the generated loop structure changes, and
+compares runtime and DMA traffic.
+
+Run:  python examples/dataflow_exploration.py
+"""
+
+import numpy as np
+
+from repro import AXI4MLIRCompiler, make_pynq_z2
+from repro.accelerators import make_matmul_system
+
+DIMS = 128
+SIZE = 16
+
+rng = np.random.default_rng(1)
+a = rng.integers(-8, 8, (DIMS, DIMS)).astype(np.int32)
+b = rng.integers(-8, 8, (DIMS, DIMS)).astype(np.int32)
+expected = a.astype(np.int64) @ b.astype(np.int64)
+
+print(f"MatMul {DIMS}x{DIMS}x{DIMS} on a v3-{SIZE} accelerator\n")
+results = []
+for flow in ("Ns", "As", "Bs", "Cs"):
+    hardware, info = make_matmul_system(3, SIZE, flow=flow)
+    board = make_pynq_z2()
+    board.attach_accelerator(hardware)
+    kernel = AXI4MLIRCompiler(info).compile_matmul(DIMS, DIMS, DIMS)
+    c = np.zeros((DIMS, DIMS), np.int32)
+    counters = kernel.run(board, a, b, c)
+    assert np.array_equal(c, expected)
+    results.append((flow, kernel, counters))
+
+print(f"{'flow':5} {'loop order':12} {'task-clock':>11} "
+      f"{'to accel':>11} {'from accel':>11} {'DMA txns':>9}")
+for flow, kernel, counters in results:
+    order = "(" + ", ".join(kernel.plan.loop_order) + ")"
+    print(f"{flow:5} {order:12} {counters.task_clock_ms():>9.3f}ms "
+          f"{counters.dma_bytes_to_accel:>10,}B "
+          f"{counters.dma_bytes_from_accel:>10,}B "
+          f"{counters.dma_transactions:>9}")
+
+print("\nObservations (matching paper Figs. 11-13):")
+ns = results[0][2]
+cs = results[3][2]
+print(f"- A/B-stationary cut input traffic; C-stationary cuts output "
+      f"traffic {ns.dma_bytes_from_accel // cs.dma_bytes_from_accel}x")
+print(f"- Cs is the fastest flow here: "
+      f"{ns.task_clock_ms() / cs.task_clock_ms():.2f}x vs Ns")
+
+print("\n--- generated inner structure, As flow (compare paper Fig. 6b) ---")
+as_kernel = results[1][1]
+for line in as_kernel.source.splitlines():
+    if "for " in line or "send_memref" in line or "recv" in line \
+            or "flush" in line:
+        print(line)

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The evaluation environment has no ``wheel`` package (offline), so PEP 517
+editable installs fail with ``invalid command 'bdist_wheel'``.  Keeping a
+``setup.py`` lets ``pip install -e . --no-use-pep517`` (and older pips'
+default path) install via ``setup.py develop`` instead.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,28 @@
+"""Accelerator and host-CPU configuration files (paper Fig. 5, steps 1-2).
+
+The user describes the target SoC in JSON: CPU cache hierarchy plus, per
+accelerator, the supported kernel, tile sizes, data type, operand/dimension
+structure, the opcode map, the available opcode flows, and DMA parameters.
+:func:`parse_config` validates everything and produces typed objects the
+compiler passes consume.
+"""
+
+from .errors import ConfigError
+from .schema import (
+    AcceleratorInfo,
+    CPUInfo,
+    DMAConfig,
+    SystemConfig,
+)
+from .parser import (
+    load_config,
+    parse_config,
+    parse_accelerator,
+    parse_cpu,
+)
+
+__all__ = [
+    "ConfigError",
+    "AcceleratorInfo", "CPUInfo", "DMAConfig", "SystemConfig",
+    "load_config", "parse_config", "parse_accelerator", "parse_cpu",
+]

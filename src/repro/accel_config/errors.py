@@ -1,0 +1,9 @@
+"""Configuration error type."""
+
+
+class ConfigError(ValueError):
+    """Raised when an accelerator/CPU configuration file is invalid.
+
+    The message always names the offending key so that co-design users can
+    fix the JSON without reading compiler source.
+    """

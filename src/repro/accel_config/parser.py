@@ -1,0 +1,176 @@
+"""JSON configuration parsing and validation (paper Fig. 5, step 2).
+
+Accepts sizes either as integers or as strings with K/M suffixes
+(``"32K"``), matching the paper's informal notation.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Tuple, Union
+
+from ..ir.types import element_type_from_string
+from ..opcodes import (
+    OpcodeFlow,
+    OpcodeSyntaxError,
+    parse_opcode_flow,
+    parse_opcode_map,
+)
+from .errors import ConfigError
+from .schema import AcceleratorInfo, CPUInfo, DMAConfig, SystemConfig
+
+_SIZE_SUFFIXES = {"K": 1024, "M": 1024 ** 2, "G": 1024 ** 3}
+
+
+def parse_size(value: Union[int, str]) -> int:
+    """Parse ``32768``, ``"32K"``, ``"512K"``, ``"1M"``, or ``"0xFF00"``."""
+    if isinstance(value, int):
+        return value
+    text = value.strip()
+    if text.lower().startswith("0x"):
+        return int(text, 16)
+    suffix = text[-1:].upper()
+    if suffix in _SIZE_SUFFIXES:
+        return int(float(text[:-1]) * _SIZE_SUFFIXES[suffix])
+    try:
+        return int(text)
+    except ValueError:
+        raise ConfigError(f"cannot parse size {value!r}") from None
+
+
+def parse_cpu(data: Dict) -> CPUInfo:
+    """Parse the ``"cpu"`` section."""
+    levels = data.get("cache-levels", data.get("cache_levels"))
+    types = data.get("cache-types", data.get("cache_types"))
+    kwargs = {}
+    if levels is not None:
+        kwargs["cache_levels"] = tuple(parse_size(v) for v in levels)
+    if types is not None:
+        kwargs["cache_types"] = tuple(str(t) for t in types)
+    if "line-size" in data or "line_size" in data:
+        kwargs["line_size"] = parse_size(data.get("line-size",
+                                                  data.get("line_size")))
+    if "frequency" in data:
+        kwargs["frequency_hz"] = float(parse_size(data["frequency"]))
+    if "associativity" in data:
+        kwargs["associativity"] = tuple(int(a) for a in data["associativity"])
+    try:
+        return CPUInfo(**kwargs)
+    except ValueError as error:
+        raise ConfigError(f"bad cpu section: {error}") from error
+
+
+def _parse_dma(data: Dict) -> DMAConfig:
+    try:
+        return DMAConfig(
+            id=int(data.get("id", 0)),
+            input_address=parse_size(data.get("inputAddress", 0x42)),
+            input_buffer_size=parse_size(data.get("inputBufferSize", 0xFF00)),
+            output_address=parse_size(data.get("outputAddress", 0xFF42)),
+            output_buffer_size=parse_size(data.get("outputBufferSize", 0xFF00)),
+        )
+    except ValueError as error:
+        raise ConfigError(f"bad dma_config: {error}") from error
+
+
+def _require(data: Dict, key: str, context: str):
+    if key not in data:
+        raise ConfigError(f"{context}: missing required key {key!r}")
+    return data[key]
+
+
+def parse_accelerator(data: Dict) -> AcceleratorInfo:
+    """Parse one entry of the ``"accelerators"`` list."""
+    name = str(data.get("name", "accelerator"))
+    context = f"accelerator {name!r}"
+
+    kernel = str(_require(data, "kernel", context))
+    dims = tuple(str(d) for d in _require(data, "dims", context))
+    accel_size = tuple(
+        int(parse_size(v)) for v in _require(data, "accel_size", context)
+    )
+    try:
+        data_type = element_type_from_string(
+            str(data.get("data_type", "int32"))
+        )
+    except ValueError as error:
+        raise ConfigError(f"{context}: {error}") from error
+
+    data_section = _require(data, "data", context)
+    operand_entries: List[Tuple[str, Tuple[str, ...]]] = []
+    for operand_name, operand_dims in data_section.items():
+        operand_entries.append(
+            (str(operand_name), tuple(str(d) for d in operand_dims))
+        )
+
+    try:
+        opcode_map = parse_opcode_map(str(_require(data, "opcode_map", context)))
+    except OpcodeSyntaxError as error:
+        raise ConfigError(f"{context}: bad opcode_map: {error}") from error
+
+    flows_section = _require(data, "opcode_flow_map", context)
+    if not flows_section:
+        raise ConfigError(f"{context}: opcode_flow_map is empty")
+    flows: List[Tuple[str, OpcodeFlow]] = []
+    for flow_name, flow_text in flows_section.items():
+        try:
+            flows.append((str(flow_name), parse_opcode_flow(str(flow_text))))
+        except OpcodeSyntaxError as error:
+            raise ConfigError(
+                f"{context}: bad opcode_flow {flow_name!r}: {error}"
+            ) from error
+
+    selected = str(data.get("selected_flow", flows[0][0]))
+
+    init_opcodes = None
+    if "init_opcodes" in data:
+        try:
+            init_opcodes = parse_opcode_flow(str(data["init_opcodes"]))
+        except OpcodeSyntaxError as error:
+            raise ConfigError(f"{context}: bad init_opcodes: {error}") from error
+
+    try:
+        return AcceleratorInfo(
+            name=name,
+            kernel=kernel,
+            accel_size=accel_size,
+            data_type=data_type,
+            dims=dims,
+            data=tuple(operand_entries),
+            opcode_map=opcode_map,
+            opcode_flows=tuple(flows),
+            selected_flow=selected,
+            dma_config=_parse_dma(data.get("dma_config", {})),
+            init_opcodes=init_opcodes,
+            version=str(data.get("version", "1.0")),
+            description=str(data.get("description", "")),
+            loop_permutation=tuple(
+                str(d) for d in data["loop_permutation"]
+            ) if "loop_permutation" in data else None,
+            flexible_size=bool(data.get("flexible_size", False)),
+            flex_quantum=int(data.get("flex_quantum", 1)),
+            buffer_capacity=int(parse_size(data.get("buffer_capacity", 0))),
+        )
+    except ValueError as error:
+        raise ConfigError(f"{context}: {error}") from error
+
+
+def parse_config(data: Dict) -> SystemConfig:
+    """Parse a full configuration dictionary (the JSON root object)."""
+    cpu = parse_cpu(data.get("cpu", {}))
+    accel_section = data.get("accelerators", [])
+    if not isinstance(accel_section, list):
+        raise ConfigError('"accelerators" must be a list')
+    accelerators = tuple(parse_accelerator(a) for a in accel_section)
+    return SystemConfig(cpu=cpu, accelerators=accelerators)
+
+
+def load_config(path: Union[str, Path]) -> SystemConfig:
+    """Load and parse a configuration file from disk."""
+    text = Path(path).read_text()
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise ConfigError(f"{path}: invalid JSON: {error}") from error
+    return parse_config(data)

@@ -1,0 +1,23 @@
+"""Behavioural accelerator models (the paper's Table I library + conv).
+
+Accelerators consume 32-bit-word AXI-Stream bursts whose leading word is
+an opcode literal from a micro-ISA, exactly the class of devices
+AXI4MLIR targets (Sec. III-B1).  Each model reports the accelerator
+cycles it spends computing, which the board folds into the timeline.
+"""
+
+from .base import StreamAccelerator, UnknownOpcodeError
+from .matmul import MatMulAccelerator, MATMUL_LITERALS
+from .conv import ConvAccelerator, CONV_LITERALS
+from .catalog import (
+    make_conv_system,
+    make_matmul_system,
+    matmul_config_dict,
+)
+
+__all__ = [
+    "StreamAccelerator", "UnknownOpcodeError",
+    "MatMulAccelerator", "MATMUL_LITERALS",
+    "ConvAccelerator", "CONV_LITERALS",
+    "make_conv_system", "make_matmul_system", "matmul_config_dict",
+]

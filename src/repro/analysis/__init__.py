@@ -1,0 +1,5 @@
+"""Static analyses over lowering plans."""
+
+from .traffic import TrafficEstimate, estimate_traffic
+
+__all__ = ["TrafficEstimate", "estimate_traffic"]

@@ -1,0 +1,184 @@
+"""Static host-accelerator traffic prediction from a lowering plan.
+
+Given the :class:`~repro.transforms.lower_to_accel.LoweringPlan` the
+compiler produced, predict exactly how many bytes each direction of the
+DMA link will carry and how many transactions the driver will issue —
+without executing anything.  Tests validate the prediction against the
+simulation's measured counters exactly (for single-level tiling), which
+pins down the code generator's communication behaviour.
+
+For the matmul flows this reduces to the closed forms that the
+Sec. IV-C heuristics (:mod:`repro.heuristics.flexible`) optimize.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from ..opcodes import Opcode, OpcodeMap, Recv, Send, SendDim, SendIdx, \
+    SendLiteral
+from ..transforms.flow_analysis import PlacedGroup, PlacedOpcode
+from ..transforms.lower_to_accel import LoweringPlan, _result_tile_size
+
+
+@dataclass(frozen=True)
+class TrafficEstimate:
+    """Predicted DMA behaviour of one generated kernel execution."""
+
+    bytes_to_accel: int
+    bytes_from_accel: int
+    send_transactions: int
+    recv_transactions: int
+    #: Per-opcode firing counts.
+    executions: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def dma_transactions(self) -> int:
+        return self.send_transactions + self.recv_transactions
+
+
+class _Estimator:
+    def __init__(self, plan: LoweringPlan, opcode_map: OpcodeMap,
+                 operand_maps, itemsize: int):
+        self.plan = plan
+        self.opcode_map = opcode_map
+        self.operand_maps = operand_maps
+        self.itemsize = itemsize
+        self.bytes_to = 0
+        self.bytes_from = 0
+        self.send_txn = 0
+        self.recv_txn = 0
+        self.executions: Dict[str, int] = {}
+
+    # -- geometry -----------------------------------------------------------
+    def trips(self, level: int) -> int:
+        """Loop iterations enclosing a placement at ``level``."""
+        total = 1
+        for position in range(level + 1):
+            dim = self.plan.loop_order[position]
+            total *= self.plan.extents[dim] // self.plan.tiles[dim]
+        return total
+
+    def tile_elements(self, arg: int, level: int) -> int:
+        """Subview elements of operand ``arg`` at placement ``level``.
+
+        Mirrors the emitter: opened dims (position <= level) contribute
+        one tile; deeper host dims are aggregated wholesale;
+        accelerator-internal dims contribute their full tile.
+        """
+        plan = self.plan
+        open_dims = set(plan.loop_order[:level + 1])
+        effective: Dict[str, int] = {}
+        for dim in plan.dim_names:
+            if dim in open_dims or dim not in plan.loop_order:
+                effective[dim] = plan.tiles[dim]
+            else:
+                effective[dim] = plan.extents[dim]
+        amap = self.operand_maps[arg]
+        elements = 1
+        for expr in amap.results:
+            elements *= _result_tile_size(expr, effective, plan.dim_names)
+        return elements
+
+    # -- one opcode firing -----------------------------------------------------
+    def opcode_effects(self, opcode: Opcode, level: int):
+        """(send_bytes, recv_bytes, recv_count, flushes) per firing.
+
+        ``flushes`` counts the ``flush_send`` calls the emitter inserts
+        *inside* the opcode's action list (one before each receive when
+        data is staged).
+        """
+        send_bytes = 0
+        recv_bytes = 0
+        recv_count = 0
+        flushes = 0
+        staged = False
+        for action in opcode.actions:
+            if isinstance(action, (SendLiteral, SendDim, SendIdx)):
+                send_bytes += 4
+                staged = True
+            elif isinstance(action, Send):
+                send_bytes += self.itemsize * self.tile_elements(
+                    action.arg, level
+                )
+                staged = True
+            elif isinstance(action, Recv):
+                if staged:
+                    flushes += 1
+                    staged = False
+                recv_bytes += self.itemsize * self.tile_elements(
+                    action.arg, level
+                )
+                recv_count += 1
+        return send_bytes, recv_bytes, recv_count, flushes, staged
+
+    # -- scope walk -----------------------------------------------------------
+    def visit(self, group: PlacedGroup) -> None:
+        fires = self.trips(group.level)
+        staged = False
+        for item in group.items:
+            if isinstance(item, PlacedOpcode):
+                opcode = self.opcode_map[item.name]
+                sends, recvs, recv_count, flushes, leaves_staged = \
+                    self.opcode_effects(opcode, item.level)
+                # A flush inside the opcode also drains earlier staging.
+                if flushes and staged:
+                    staged = False
+                self.executions[item.name] = \
+                    self.executions.get(item.name, 0) + fires
+                self.bytes_to += sends * fires
+                self.bytes_from += recvs * fires
+                self.send_txn += flushes * fires
+                self.recv_txn += recv_count * fires
+                staged = staged or leaves_staged
+            else:
+                if staged:
+                    self.send_txn += fires
+                    staged = False
+                self.visit(item)
+        if staged:
+            self.send_txn += fires
+
+    def visit_init(self) -> None:
+        init_flow = self.plan.init_flow
+        if init_flow is None:
+            return
+        staged = False
+        for name in init_flow.opcode_names():
+            opcode = self.opcode_map[name]
+            sends, recvs, recv_count, flushes, leaves_staged = \
+                self.opcode_effects(opcode, -1)
+            self.executions[name] = self.executions.get(name, 0) + 1
+            self.bytes_to += sends
+            self.bytes_from += recvs
+            self.send_txn += flushes
+            self.recv_txn += recv_count
+            staged = staged or leaves_staged
+        if staged:
+            self.send_txn += 1
+
+
+def estimate_traffic(plan: LoweringPlan, opcode_map: OpcodeMap,
+                     operand_maps, itemsize: int = 4) -> TrafficEstimate:
+    """Predict DMA bytes and transactions for one kernel execution.
+
+    Requires a plan compiled with ``enable_cpu_tiling=False`` (the
+    multi-level trip-count algebra of CPU-tiled nests is not modelled).
+    """
+    for dim in plan.loop_order:
+        if plan.cpu_tiles.get(dim, plan.extents[dim]) != plan.extents[dim]:
+            raise ValueError(
+                "traffic estimation requires enable_cpu_tiling=False "
+                f"(dim {dim!r} is CPU-tiled)"
+            )
+    estimator = _Estimator(plan, opcode_map, operand_maps, itemsize)
+    estimator.visit_init()
+    estimator.visit(plan.placement.root)
+    return TrafficEstimate(
+        bytes_to_accel=estimator.bytes_to,
+        bytes_from_accel=estimator.bytes_from,
+        send_transactions=estimator.send_txn,
+        recv_transactions=estimator.recv_txn,
+        executions=dict(estimator.executions),
+    )

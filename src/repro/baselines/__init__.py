@@ -1,0 +1,18 @@
+"""Baselines: hand-written drivers and CPU-only reference execution.
+
+* :mod:`repro.baselines.cpu_reference` — ``mlir_CPU``: the problem run
+  entirely on the host CPU (tiled/-O3-style), modelled analytically and
+  executed functionally with numpy;
+* :mod:`repro.baselines.manual` — ``cpp_MANUAL``: hand-written optimized
+  driver code in the style of the SECDA-TFLite toolkit (Sec. IV-A):
+  accelerator-size tiling only, bare-array staging, and the fewest
+  number of transfer calls for the selected dataflow.
+"""
+
+from .cpu_reference import cpu_conv, cpu_matmul
+from .manual import manual_conv_driver, manual_matmul_driver
+
+__all__ = [
+    "cpu_conv", "cpu_matmul",
+    "manual_conv_driver", "manual_matmul_driver",
+]

@@ -1,0 +1,104 @@
+"""``mlir_CPU``: CPU-only reference execution.
+
+The paper's CPU baseline is the same linalg program compiled for the
+host with -O3 (tiled scalar/NEON code).  Simulating 256^3 = 16.7M inner
+iterations element-by-element is not practical in Python, so the CPU
+kernels are modelled analytically from the timing constants
+(cycles/references/branches per multiply-accumulate, plus capacity-based
+miss fractions) and executed functionally with numpy.  The analytic
+counts anchor the normalized plots (Figs. 12/16) and the offload
+crossover study (Fig. 10); calibration tests check the model against
+the cache simulator's behaviour on small problems.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..soc.board import Board
+from ..soc.perf import PerfCounters
+
+
+def _kernel_counters(board: Board, macs: int,
+                     footprint_bytes: int) -> PerfCounters:
+    """Counter model shared by the dense CPU kernels."""
+    timing = board.timing
+    counters = PerfCounters()
+    counters.cpu_cycles = macs * timing.cpu_cycles_per_mac
+    counters.cache_references = macs * timing.cpu_references_per_mac
+    counters.branch_instructions = macs * timing.cpu_branches_per_mac
+
+    l1_size = board.caches.l1.size_bytes
+    l2_size = board.caches.l2.size_bytes
+    l1_miss_fraction = timing.cpu_l1_miss_fraction \
+        if footprint_bytes > l1_size else 0.01
+    counters.cache_misses = counters.cache_references * l1_miss_fraction
+    l2_miss_fraction = timing.cpu_l2_miss_fraction \
+        if footprint_bytes > l2_size else 0.02
+    counters.l2_references = counters.cache_misses
+    counters.l2_misses = counters.cache_misses * l2_miss_fraction
+    counters.cpu_cycles += (
+        counters.cache_misses * timing.l1_miss_penalty_cycles
+        + counters.l2_misses * timing.l2_miss_penalty_cycles
+    )
+    counters.elapsed_seconds = timing.cpu_seconds(counters.cpu_cycles)
+    return counters
+
+
+def cpu_matmul(board: Board, a: np.ndarray, b: np.ndarray,
+               c: Optional[np.ndarray] = None
+               ) -> Tuple[np.ndarray, PerfCounters]:
+    """C += A @ B on the host CPU; returns (C, modelled counters)."""
+    m, k = a.shape
+    k2, n = b.shape
+    if k != k2:
+        raise ValueError(f"matmul shapes {a.shape} x {b.shape} do not agree")
+    if c is None:
+        c = np.zeros((m, n), dtype=a.dtype)
+    c += (a.astype(np.int64) @ b.astype(np.int64)).astype(c.dtype) \
+        if np.issubdtype(a.dtype, np.integer) else a @ b
+    footprint = (m * k + k * n + m * n) * a.dtype.itemsize
+    counters = _kernel_counters(board, m * n * k, footprint)
+    board.counters.add(counters)
+    board.clock += counters.elapsed_seconds
+    return c, counters
+
+
+def cpu_conv(board: Board, image: np.ndarray, weights: np.ndarray,
+             stride: int = 1, out: Optional[np.ndarray] = None
+             ) -> Tuple[np.ndarray, PerfCounters]:
+    """NCHW/FCHW convolution on the host CPU (functional + modelled)."""
+    batch, in_ch, in_h, in_w = image.shape
+    out_ch, in_ch2, f_h, f_w = weights.shape
+    if in_ch != in_ch2:
+        raise ValueError("image/filter channel mismatch")
+    out_h = (in_h - f_h) // stride + 1
+    out_w = (in_w - f_w) // stride + 1
+    if out is None:
+        out = np.zeros((batch, out_ch, out_h, out_w), dtype=image.dtype)
+
+    # Functional: im2col + matmul (exact in int64, cast back).
+    windows = np.lib.stride_tricks.sliding_window_view(
+        image, (f_h, f_w), axis=(2, 3)
+    )[:, :, ::stride, ::stride]                        # B,C,OH,OW,FH,FW
+    windows = windows.transpose(0, 2, 3, 1, 4, 5).reshape(
+        batch, out_h * out_w, in_ch * f_h * f_w
+    )
+    kernel = weights.reshape(out_ch, in_ch * f_h * f_w)
+    if np.issubdtype(image.dtype, np.integer):
+        result = windows.astype(np.int64) @ kernel.astype(np.int64).T
+    else:
+        result = windows @ kernel.T
+    out += result.transpose(0, 2, 1).reshape(
+        batch, out_ch, out_h, out_w
+    ).astype(out.dtype)
+
+    macs = batch * out_ch * out_h * out_w * in_ch * f_h * f_w
+    footprint = (image.nbytes + weights.nbytes
+                 + batch * out_ch * out_h * out_w * image.dtype.itemsize)
+    counters = _kernel_counters(board, macs, footprint)
+    board.counters.add(counters)
+    board.clock += counters.elapsed_seconds
+    return out, counters

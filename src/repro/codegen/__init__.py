@@ -1,0 +1,9 @@
+"""Host code generation: lowered IR to executable Python driver code."""
+
+from .python_emitter import (
+    PythonEmitter,
+    compile_host_function,
+    emit_function_source,
+)
+
+__all__ = ["PythonEmitter", "compile_host_function", "emit_function_source"]

@@ -1,0 +1,238 @@
+"""Python host-code emitter (the runtime-replacement step, Fig. 4 step 5).
+
+The paper lowers the ``accel`` dialect into C calls against the AXI DMA
+library and compiles them into the application binary.  Here the same
+lowering emits *Python source* whose calls target
+:class:`~repro.runtime.AxiRuntime`; ``exec`` turns it into a callable.
+Generated code is pure driver code — loops, subviews, staged sends,
+flushes, receives — and is the artifact benchmarked as
+``mlir_AXI4MLIR``.
+
+The emitted text is kept human-readable (it is part of this library's
+observable behaviour: examples print it), e.g.::
+
+    def matmul_call(rt, arg0, arg1, arg2):
+        rt.dma_init(0, 1073741824, 131072, 1074790400, 131072)
+        v0 = rt.send_literal(0xff, 0)
+        v1 = rt.flush_send(v0)
+        for m in range(0, 64, 8):
+            rt.loop_iteration()
+            ...
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..dialects import accel
+from ..ir.attributes import StringAttr, unwrap
+from ..ir.core import Block, Operation, Value
+
+
+class EmitError(RuntimeError):
+    pass
+
+
+class PythonEmitter:
+    """Walks one lowered ``func.func`` and produces Python source."""
+
+    def __init__(self, func_op: Operation):
+        if func_op.name != "func.func":
+            raise EmitError(f"expected func.func, got {func_op.name}")
+        self.func_op = func_op
+        self.names: Dict[Value, str] = {}
+        self.lines: List[str] = []
+        self.indent = 1
+        self.counter = 0
+        self.loop_names: List[str] = []
+
+    # -- naming ----------------------------------------------------------
+    def name_of(self, value: Value) -> str:
+        name = self.names.get(value)
+        if name is None:
+            raise EmitError(f"value {value!r} used before definition")
+        return name
+
+    def fresh(self, value: Value, hint: str = "v") -> str:
+        name = f"{hint}{self.counter}"
+        self.counter += 1
+        self.names[value] = name
+        return name
+
+    def line(self, text: str) -> None:
+        self.lines.append("    " * self.indent + text)
+
+    # -- entry ------------------------------------------------------------
+    def emit(self) -> str:
+        sym = self.func_op.get_attr("sym_name")
+        func_name = sym.value if isinstance(sym, StringAttr) else "host_func"
+        entry = self.func_op.regions[0].entry_block
+        arg_names = []
+        for i, argument in enumerate(entry.arguments):
+            name = f"arg{i}"
+            self.names[argument] = name
+            arg_names.append(name)
+        header = f"def {func_name}(rt, {', '.join(arg_names)}):"
+        self.lines.append(header)
+        if not entry.operations:
+            self.line("pass")
+        self._emit_block(entry)
+        return "\n".join(self.lines) + "\n"
+
+    # -- blocks / ops ---------------------------------------------------------
+    def _emit_block(self, block: Block) -> None:
+        for op in block.operations:
+            self._emit_op(op)
+
+    def _emit_op(self, op: Operation) -> None:
+        handler = getattr(self, "_op_" + op.name.replace(".", "_"), None)
+        if handler is None:
+            raise EmitError(f"cannot emit {op.name} as host code")
+        handler(op)
+
+    # -- func ------------------------------------------------------------
+    def _op_func_return(self, op: Operation) -> None:
+        if op.operands:
+            values = ", ".join(self.name_of(v) for v in op.operands)
+            self.line(f"return {values}")
+        else:
+            self.line("return None")
+
+    # -- arith ------------------------------------------------------------
+    def _op_arith_constant(self, op: Operation) -> None:
+        value = unwrap(op.get_attr("value"))
+        name = self.fresh(op.results[0], "c")
+        self.line(f"{name} = {value!r}")
+
+    def _binary(self, op: Operation, operator: str) -> None:
+        lhs = self.name_of(op.operands[0])
+        rhs = self.name_of(op.operands[1])
+        name = self.fresh(op.results[0])
+        self.line(f"{name} = {lhs} {operator} {rhs}")
+
+    def _op_arith_addi(self, op):
+        self._binary(op, "+")
+
+    def _op_arith_subi(self, op):
+        self._binary(op, "-")
+
+    def _op_arith_muli(self, op):
+        self._binary(op, "*")
+
+    def _op_arith_addf(self, op):
+        self._binary(op, "+")
+
+    def _op_arith_subf(self, op):
+        self._binary(op, "-")
+
+    def _op_arith_mulf(self, op):
+        self._binary(op, "*")
+
+    def _op_arith_minui(self, op: Operation) -> None:
+        lhs = self.name_of(op.operands[0])
+        rhs = self.name_of(op.operands[1])
+        name = self.fresh(op.results[0])
+        self.line(f"{name} = min({lhs}, {rhs})")
+
+    # -- scf ------------------------------------------------------------------
+    def _op_scf_for(self, op: Operation) -> None:
+        lower = self.name_of(op.operands[0])
+        upper = self.name_of(op.operands[1])
+        step = self.name_of(op.operands[2])
+        body = op.regions[0].entry_block
+        iv_hint = op.get_attr("iv_name")
+        hint = iv_hint.value if isinstance(iv_hint, StringAttr) else "i"
+        iv_name = hint
+        suffix = 1
+        while iv_name in self.loop_names:
+            suffix += 1
+            iv_name = f"{hint}{suffix}"
+        self.loop_names.append(iv_name)
+        self.names[body.arguments[0]] = iv_name
+        self.line(f"for {iv_name} in range({lower}, {upper}, {step}):")
+        self.indent += 1
+        self.line("rt.loop_iteration()")
+        self._emit_block(body)
+        self.indent -= 1
+        self.loop_names.pop()
+
+    def _op_scf_yield(self, op: Operation) -> None:
+        del op  # loop bodies need no explicit terminator in Python
+
+    # -- memref -----------------------------------------------------------
+    def _op_memref_subview(self, op: Operation) -> None:
+        source = self.name_of(op.operands[0])
+        offsets = ", ".join(self.name_of(v) for v in op.operands[1:])
+        sizes = tuple(unwrap(op.get_attr("static_sizes")))
+        name = self.fresh(op.results[0], "sub")
+        trailing = "," if len(op.operands) == 2 else ""
+        self.line(
+            f"{name} = {source}.subview(({offsets}{trailing}), {sizes!r})"
+        )
+        self.line("rt.subview_setup()")
+
+    def _op_memref_dim(self, op: Operation) -> None:
+        source = self.name_of(op.operands[0])
+        index = unwrap(op.get_attr("index"))
+        name = self.fresh(op.results[0], "d")
+        self.line(f"{name} = {source}.sizes[{index}]")
+
+    # -- accel ------------------------------------------------------------
+    def _op_accel_dma_init(self, op: Operation) -> None:
+        args = ", ".join(self.name_of(v) for v in op.operands)
+        self.line(f"rt.dma_init({args})")
+
+    def _op_accel_send_literal(self, op: Operation) -> None:
+        literal = self.name_of(op.operands[0])
+        offset = self.name_of(op.operands[1])
+        name = self.fresh(op.results[0], "off")
+        self.line(f"{name} = rt.send_literal({literal}, {offset})")
+
+    def _op_accel_send(self, op: Operation) -> None:
+        ref = self.name_of(op.operands[0])
+        offset = self.name_of(op.operands[1])
+        name = self.fresh(op.results[0], "off")
+        self.line(f"{name} = rt.send_memref({ref}, {offset})")
+
+    def _op_accel_send_dim(self, op: Operation) -> None:
+        ref = self.name_of(op.operands[0])
+        dim = self.name_of(op.operands[1])
+        offset = self.name_of(op.operands[2])
+        name = self.fresh(op.results[0], "off")
+        self.line(f"{name} = rt.send_dim({ref}, {dim}, {offset})")
+
+    def _op_accel_send_idx(self, op: Operation) -> None:
+        value = self.name_of(op.operands[0])
+        offset = self.name_of(op.operands[1])
+        name = self.fresh(op.results[0], "off")
+        self.line(f"{name} = rt.send_idx({value}, {offset})")
+
+    def _op_accel_flush_send(self, op: Operation) -> None:
+        offset = self.name_of(op.operands[0])
+        name = self.fresh(op.results[0], "off")
+        self.line(f"{name} = rt.flush_send({offset})")
+
+    def _op_accel_recv(self, op: Operation) -> None:
+        ref = self.name_of(op.operands[0])
+        offset = self.name_of(op.operands[1])
+        accumulate = accel.recv_mode(op) == accel.RECV_ACCUMULATE
+        self.line(
+            f"rt.recv_memref({ref}, {offset}, accumulate={accumulate})"
+        )
+
+
+def emit_function_source(func_op: Operation) -> str:
+    """Emit Python driver source for one lowered function."""
+    return PythonEmitter(func_op).emit()
+
+
+def compile_host_function(func_op: Operation,
+                          source: Optional[str] = None):
+    """Emit and ``exec`` the driver; returns ``(callable, source)``."""
+    text = source or emit_function_source(func_op)
+    sym = func_op.get_attr("sym_name")
+    func_name = sym.value if isinstance(sym, StringAttr) else "host_func"
+    namespace: dict = {}
+    code = compile(text, f"<axi4mlir:{func_name}>", "exec")
+    exec(code, namespace)
+    return namespace[func_name], text

@@ -1,0 +1,193 @@
+"""Top-level AXI4MLIR driver: configuration to executable host code.
+
+Typical use (see ``examples/quickstart.py``)::
+
+    accel_hw, accel_info = make_matmul_system(version=3, size=8, flow="Cs")
+    compiler = AXI4MLIRCompiler(accel_info)
+    kernel = compiler.compile_matmul(64, 64, 64)
+    board = make_pynq_z2()
+    board.attach_accelerator(accel_hw)
+    counters = kernel.run(board, A, B, C)      # C += A @ B on the accelerator
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .accel_config import AcceleratorInfo, CPUInfo
+from .codegen import compile_host_function, emit_function_source
+from .dialects import func, linalg
+from .execution import interpret_function
+from .ir import Module, MemRefType, element_type_from_string
+from .runtime import AxiRuntime, CALL_STYLE_GENERATED
+from .soc import Board
+from .transforms import CompileError, build_axi4mlir_pipeline
+from .transforms.lower_to_accel import LoweringPlan
+
+
+def _np_dtype(element_type) -> np.dtype:
+    text = str(element_type)
+    return np.dtype({"f32": np.float32, "f64": np.float64,
+                     "i32": np.int32, "i64": np.int64}.get(text, np.int32))
+
+
+def build_matmul_module(m: int, n: int, k: int, element_type) -> Module:
+    """A module holding ``matmul_call``: C(m,n) += A(m,k) * B(k,n)."""
+    module = Module()
+    func_op = func.define(
+        "matmul_call",
+        [
+            MemRefType((m, k), element_type),
+            MemRefType((k, n), element_type),
+            MemRefType((m, n), element_type),
+        ],
+    )
+    module.add_function(func_op)
+    b = func.builder_at_entry(func_op)
+    a, rhs, out = func.arguments(func_op)
+    linalg.matmul(b, a, rhs, out)
+    func.ret(b)
+    return module
+
+
+def build_conv_module(batch: int, in_ch: int, in_hw: int, out_ch: int,
+                      f_hw: int, stride: int, element_type) -> Module:
+    """A module holding ``conv_call`` for one NCHW/FCHW convolution."""
+    out_hw = (in_hw - f_hw) // stride + 1
+    module = Module()
+    func_op = func.define(
+        "conv_call",
+        [
+            MemRefType((batch, in_ch, in_hw, in_hw), element_type),
+            MemRefType((out_ch, in_ch, f_hw, f_hw), element_type),
+            MemRefType((batch, out_ch, out_hw, out_hw), element_type),
+        ],
+    )
+    module.add_function(func_op)
+    b = func.builder_at_entry(func_op)
+    image, weights, out = func.arguments(func_op)
+    linalg.conv_2d_nchw_fchw(b, image, weights, out, stride=stride)
+    func.ret(b)
+    return module
+
+
+@dataclass
+class CompiledKernel:
+    """The result of one compilation: IR, emitted source, callable."""
+
+    module: Module
+    func_name: str
+    source: str
+    entry_point: object
+    plan: Optional[LoweringPlan] = None
+    specialized_copies: bool = True
+    parameters: dict = field(default_factory=dict)
+
+    @property
+    def func_op(self):
+        return self.module.lookup(self.func_name)
+
+    def make_runtime(self, board: Board) -> AxiRuntime:
+        return AxiRuntime(board, specialized_copies=self.specialized_copies,
+                          call_style=CALL_STYLE_GENERATED)
+
+    def run(self, board: Board, *arrays: np.ndarray,
+            runtime: Optional[AxiRuntime] = None):
+        """Execute the emitted host code against ``board``.
+
+        Returns the perf counter delta for this invocation.
+        """
+        rt = runtime or self.make_runtime(board)
+        descriptors = [rt.make_memref(np.ascontiguousarray(a), f"arg{i}")
+                       for i, a in enumerate(arrays)]
+        before = board.snapshot()
+        self.entry_point(rt, *descriptors)
+        return board.measure_since(before)
+
+    def run_interpreted(self, board: Board, *arrays: np.ndarray,
+                        runtime: Optional[AxiRuntime] = None):
+        """Execute via the reference interpreter (tests / debugging)."""
+        rt = runtime or self.make_runtime(board)
+        descriptors = [rt.make_memref(np.ascontiguousarray(a), f"arg{i}")
+                       for i, a in enumerate(arrays)]
+        before = board.snapshot()
+        interpret_function(self.func_op, descriptors, rt)
+        return board.measure_since(before)
+
+
+class AXI4MLIRCompiler:
+    """User-facing compiler: accelerator config in, host driver out."""
+
+    def __init__(self, info: AcceleratorInfo, cpu: Optional[CPUInfo] = None,
+                 flow_name: Optional[str] = None,
+                 permutation: Optional[Sequence[str]] = None,
+                 enable_cpu_tiling: bool = True,
+                 specialized_copies: bool = True):
+        self.info = info
+        self.cpu = cpu or CPUInfo()
+        self.flow_name = flow_name
+        self.permutation = permutation if permutation is not None \
+            else info.loop_permutation
+        self.enable_cpu_tiling = enable_cpu_tiling
+        self.specialized_copies = specialized_copies
+
+    # -- generic entry ---------------------------------------------------
+    def compile_module(self, module: Module, func_name: str,
+                       parameters: Optional[dict] = None) -> CompiledKernel:
+        pipeline = build_axi4mlir_pipeline(
+            self.info,
+            cpu=self.cpu,
+            flow_name=self.flow_name,
+            permutation=self.permutation,
+            enable_cpu_tiling=self.enable_cpu_tiling,
+        )
+        pipeline.run(module)
+        func_op = module.lookup(func_name)
+        entry, source = compile_host_function(func_op)
+        lower_pass = pipeline.passes[-1]
+        plan = lower_pass.plans[0] if getattr(lower_pass, "plans", None) \
+            else None
+        return CompiledKernel(
+            module=module,
+            func_name=func_name,
+            source=source,
+            entry_point=entry,
+            plan=plan,
+            specialized_copies=self.specialized_copies,
+            parameters=dict(parameters or {}),
+        )
+
+    # -- kernels -----------------------------------------------------------
+    def compile_matmul(self, m: int, n: int, k: int) -> CompiledKernel:
+        if self.info.kernel != "linalg.matmul":
+            raise CompileError(
+                f"accelerator {self.info.name!r} implements "
+                f"{self.info.kernel!r}, not linalg.matmul"
+            )
+        module = build_matmul_module(m, n, k, self.info.data_type)
+        return self.compile_module(
+            module, "matmul_call", {"m": m, "n": n, "k": k}
+        )
+
+    def compile_conv(self, batch: int, in_ch: int, in_hw: int, out_ch: int,
+                     f_hw: int, stride: int = 1) -> CompiledKernel:
+        if self.info.kernel != "linalg.conv_2d_nchw_fchw":
+            raise CompileError(
+                f"accelerator {self.info.name!r} implements "
+                f"{self.info.kernel!r}, not linalg.conv_2d_nchw_fchw"
+            )
+        module = build_conv_module(batch, in_ch, in_hw, out_ch, f_hw,
+                                   stride, self.info.data_type)
+        return self.compile_module(
+            module, "conv_call",
+            {"batch": batch, "in_ch": in_ch, "in_hw": in_hw,
+             "out_ch": out_ch, "f_hw": f_hw, "stride": stride},
+        )
+
+
+def element_type(name: str):
+    """Re-export for callers building custom modules from dtype names."""
+    return element_type_from_string(name)

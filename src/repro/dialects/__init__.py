@@ -1,0 +1,15 @@
+"""Dialect constructors for the miniature IR.
+
+Each module mirrors one MLIR dialect used by the AXI4MLIR flow:
+
+* :mod:`repro.dialects.func`   — functions, calls, returns
+* :mod:`repro.dialects.arith`  — constants and scalar arithmetic
+* :mod:`repro.dialects.scf`    — structured control flow (``scf.for``)
+* :mod:`repro.dialects.memref` — buffers, subviews, loads/stores
+* :mod:`repro.dialects.linalg` — ``linalg.generic`` and named ops
+* :mod:`repro.dialects.accel`  — the paper's new host-accelerator dialect
+"""
+
+from . import accel, arith, func, linalg, memref, scf
+
+__all__ = ["accel", "arith", "func", "linalg", "memref", "scf"]

@@ -1,0 +1,97 @@
+"""``arith`` dialect: constants and scalar arithmetic."""
+
+from __future__ import annotations
+
+from ..ir.builder import Builder
+from ..ir.core import Operation, Value
+from ..ir.types import FloatType, IndexType, IntegerType, Type, INDEX
+from ..ir.verifier import VerificationError, register_verifier
+
+
+def constant(b: Builder, value, type: Type = INDEX) -> Value:
+    """Create (or reuse) an ``arith.constant`` in the current block."""
+
+    def make() -> Value:
+        op = b.create(
+            "arith.constant",
+            result_types=[type],
+            attributes={"value": value},
+        )
+        return op.result
+
+    return b.cached_constant(value, type, make)
+
+
+def index_constant(b: Builder, value: int) -> Value:
+    return constant(b, value, INDEX)
+
+
+def _binary(b: Builder, name: str, lhs: Value, rhs: Value) -> Value:
+    if lhs.type != rhs.type:
+        raise VerificationError(
+            f"{name}: operand types differ ({lhs.type} vs {rhs.type})"
+        )
+    return b.create(name, operands=[lhs, rhs], result_types=[lhs.type]).result
+
+
+def addi(b: Builder, lhs: Value, rhs: Value) -> Value:
+    return _binary(b, "arith.addi", lhs, rhs)
+
+
+def subi(b: Builder, lhs: Value, rhs: Value) -> Value:
+    return _binary(b, "arith.subi", lhs, rhs)
+
+
+def muli(b: Builder, lhs: Value, rhs: Value) -> Value:
+    return _binary(b, "arith.muli", lhs, rhs)
+
+
+def addf(b: Builder, lhs: Value, rhs: Value) -> Value:
+    return _binary(b, "arith.addf", lhs, rhs)
+
+
+def subf(b: Builder, lhs: Value, rhs: Value) -> Value:
+    return _binary(b, "arith.subf", lhs, rhs)
+
+
+def mulf(b: Builder, lhs: Value, rhs: Value) -> Value:
+    return _binary(b, "arith.mulf", lhs, rhs)
+
+
+def minui(b: Builder, lhs: Value, rhs: Value) -> Value:
+    """Unsigned minimum — used for boundary (partial tile) sizes."""
+    return _binary(b, "arith.minui", lhs, rhs)
+
+
+@register_verifier("arith.constant")
+def _verify_constant(op: Operation) -> None:
+    if len(op.results) != 1:
+        raise VerificationError("arith.constant must have one result")
+    if "value" not in op.attributes:
+        raise VerificationError("arith.constant requires a 'value' attribute")
+
+
+def _verify_int_binary(op: Operation) -> None:
+    if len(op.operands) != 2 or len(op.results) != 1:
+        raise VerificationError(f"{op.name} must be binary with one result")
+    for operand in op.operands:
+        if not isinstance(operand.type, (IntegerType, IndexType)):
+            raise VerificationError(
+                f"{op.name} expects integer/index operands, got {operand.type}"
+            )
+
+
+def _verify_float_binary(op: Operation) -> None:
+    if len(op.operands) != 2 or len(op.results) != 1:
+        raise VerificationError(f"{op.name} must be binary with one result")
+    for operand in op.operands:
+        if not isinstance(operand.type, FloatType):
+            raise VerificationError(
+                f"{op.name} expects float operands, got {operand.type}"
+            )
+
+
+for _name in ("arith.addi", "arith.subi", "arith.muli", "arith.minui"):
+    register_verifier(_name)(_verify_int_binary)
+for _name in ("arith.addf", "arith.subf", "arith.mulf"):
+    register_verifier(_name)(_verify_float_binary)

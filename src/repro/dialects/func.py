@@ -1,0 +1,64 @@
+"""``func`` dialect: function definition, call, and return helpers."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..ir.builder import Builder, InsertionPoint
+from ..ir.core import Block, Operation, Value, func_entry_block, make_func
+from ..ir.types import Type
+from ..ir.verifier import VerificationError, register_verifier
+
+
+def define(
+    name: str,
+    input_types: Sequence[Type],
+    result_types: Sequence[Type] = (),
+    arg_names: Sequence[str] = (),
+) -> Operation:
+    """Create an empty function; see :func:`repro.ir.core.make_func`."""
+    return make_func(name, input_types, result_types, arg_names)
+
+
+def entry_block(func_op: Operation) -> Block:
+    return func_entry_block(func_op)
+
+
+def arguments(func_op: Operation) -> List[Value]:
+    return list(func_entry_block(func_op).arguments)
+
+
+def builder_at_entry(func_op: Operation) -> Builder:
+    return Builder(InsertionPoint.at_end(func_entry_block(func_op)))
+
+
+def ret(b: Builder, values: Sequence[Value] = ()) -> Operation:
+    return b.create("func.return", operands=list(values))
+
+
+def call(b: Builder, callee: str, args: Sequence[Value],
+         result_types: Sequence[Type] = ()) -> Operation:
+    return b.create(
+        "func.call",
+        operands=list(args),
+        result_types=list(result_types),
+        attributes={"callee": callee},
+    )
+
+
+def func_name(func_op: Operation) -> Optional[str]:
+    name_attr = func_op.get_attr("sym_name")
+    return name_attr.value if name_attr is not None else None
+
+
+@register_verifier("func.func")
+def _verify_func(op: Operation) -> None:
+    if "sym_name" not in op.attributes:
+        raise VerificationError("func.func requires a sym_name")
+    if len(op.regions) != 1 or not op.regions[0].blocks:
+        raise VerificationError("func.func requires one non-empty region")
+    body = op.regions[0].entry_block
+    if body.operations and body.terminator.name not in ("func.return",):
+        # Host-code functions always end with a return; being strict here
+        # catches passes that drop the terminator while splicing loops.
+        raise VerificationError("func.func body must end with func.return")

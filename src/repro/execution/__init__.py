@@ -1,0 +1,5 @@
+"""Execution of lowered host IR: reference interpreter."""
+
+from .interpreter import Interpreter, interpret_function
+
+__all__ = ["Interpreter", "interpret_function"]

@@ -1,0 +1,34 @@
+"""Experiment harnesses regenerating every table and figure of the paper.
+
+Each ``figNN_rows`` function runs the relevant simulations and returns a
+list of result-row dicts (the same series the paper plots); benchmarks
+print them as tables, and the paper-claims tests assert their shapes.
+"""
+
+from .harness import (
+    measure_cpu_matmul,
+    measure_generated_conv,
+    measure_generated_matmul,
+    measure_manual_conv,
+    measure_manual_matmul,
+)
+from .figures import (
+    format_table,
+    table1_rows,
+    fig10_rows,
+    fig11_rows,
+    fig12_rows,
+    fig13_rows,
+    fig14_rows,
+    fig16_rows,
+    fig17_rows,
+)
+
+__all__ = [
+    "measure_cpu_matmul", "measure_generated_conv",
+    "measure_generated_matmul", "measure_manual_conv",
+    "measure_manual_matmul",
+    "format_table", "table1_rows",
+    "fig10_rows", "fig11_rows", "fig12_rows", "fig13_rows",
+    "fig14_rows", "fig16_rows", "fig17_rows",
+]

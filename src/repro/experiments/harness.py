@@ -1,0 +1,136 @@
+"""Single-measurement helpers shared by all figure harnesses.
+
+Every helper builds a fresh board, runs one configuration, checks the
+numerics against numpy, and returns the perf counter delta.  Results are
+memoized per parameter tuple — several figures share configurations, and
+the simulations are deterministic.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..accelerators import (
+    ConvAccelerator,
+    MatMulAccelerator,
+    make_conv_system,
+    make_matmul_system,
+)
+from ..baselines import (
+    cpu_conv,
+    cpu_matmul,
+    manual_conv_driver,
+    manual_matmul_driver,
+)
+from ..compiler import AXI4MLIRCompiler
+from ..soc import PerfCounters, make_pynq_z2
+
+
+def _data(dims_m: int, dims_n: int, dims_k: int, seed: int = 7):
+    rng = np.random.default_rng(seed)
+    a = rng.integers(-7, 7, (dims_m, dims_k)).astype(np.int32)
+    b = rng.integers(-7, 7, (dims_k, dims_n)).astype(np.int32)
+    return a, b
+
+
+@lru_cache(maxsize=None)
+def measure_cpu_matmul(dims: int) -> PerfCounters:
+    """``mlir_CPU``: the problem run entirely on the host."""
+    board = make_pynq_z2()
+    a, b = _data(dims, dims, dims)
+    _, counters = cpu_matmul(board, a, b)
+    return counters
+
+
+@lru_cache(maxsize=None)
+def measure_generated_matmul(
+    dims_m: int, dims_n: int, dims_k: int, size: int, version: int,
+    flow: str, specialized: bool = True, cpu_tiling: bool = True,
+    accel_size: Optional[Tuple[int, int, int]] = None,
+) -> PerfCounters:
+    """``mlir_AXI4MLIR``: compile and run the generated driver."""
+    hw, info = make_matmul_system(version, size, flow=flow,
+                                  accel_size=accel_size)
+    board = make_pynq_z2()
+    board.attach_accelerator(hw)
+    compiler = AXI4MLIRCompiler(info, enable_cpu_tiling=cpu_tiling,
+                                specialized_copies=specialized)
+    kernel = compiler.compile_matmul(dims_m, dims_n, dims_k)
+    a, b = _data(dims_m, dims_n, dims_k)
+    c = np.zeros((dims_m, dims_n), np.int32)
+    counters = kernel.run(board, a, b, c)
+    if not np.array_equal(c, a.astype(np.int64) @ b.astype(np.int64)):
+        raise AssertionError(
+            f"generated driver produced wrong results for "
+            f"({dims_m},{dims_n},{dims_k}) v{version} {flow}"
+        )
+    return counters
+
+
+@lru_cache(maxsize=None)
+def measure_manual_matmul(
+    dims_m: int, dims_n: int, dims_k: int, size: int, version: int,
+    flow: str, tiles: Optional[Tuple[int, int, int]] = None,
+) -> PerfCounters:
+    """``cpp_MANUAL``: the hand-written driver baseline."""
+    board = make_pynq_z2()
+    board.attach_accelerator(MatMulAccelerator(size, version))
+    a, b = _data(dims_m, dims_n, dims_k)
+    c = np.zeros((dims_m, dims_n), np.int32)
+    counters = manual_matmul_driver(board, a, b, c, version, size, flow,
+                                    tiles=tiles)
+    if not np.array_equal(c, a.astype(np.int64) @ b.astype(np.int64)):
+        raise AssertionError("manual driver produced wrong results")
+    return counters
+
+
+def _conv_data(layer, seed: int = 11):
+    rng = np.random.default_rng(seed)
+    image = rng.integers(-4, 4, layer.input_shape()).astype(np.int32)
+    weights = rng.integers(-4, 4, layer.filter_shape()).astype(np.int32)
+    return image, weights
+
+
+@lru_cache(maxsize=None)
+def measure_generated_conv(layer, specialized: bool = True) -> PerfCounters:
+    hw, info = make_conv_system(layer.in_ch, layer.f_hw,
+                                max_slice=layer.out_hw ** 2)
+    board = make_pynq_z2()
+    board.attach_accelerator(hw)
+    compiler = AXI4MLIRCompiler(info, specialized_copies=specialized)
+    kernel = compiler.compile_conv(layer.batch, layer.in_ch, layer.in_hw,
+                                   layer.out_ch, layer.f_hw, layer.stride)
+    image, weights = _conv_data(layer)
+    expected, _ = cpu_conv(make_pynq_z2(), image, weights, layer.stride)
+    out = np.zeros(layer.output_shape(), np.int32)
+    counters = kernel.run(board, image, weights, out)
+    if not np.array_equal(out, expected):
+        raise AssertionError(f"generated conv wrong for {layer.label}")
+    return counters
+
+
+@lru_cache(maxsize=None)
+def measure_manual_conv(layer) -> PerfCounters:
+    board = make_pynq_z2()
+    board.attach_accelerator(
+        ConvAccelerator(max_ic=layer.in_ch, max_fhw=layer.f_hw,
+                        max_slice=layer.out_hw ** 2)
+    )
+    image, weights = _conv_data(layer)
+    expected, _ = cpu_conv(make_pynq_z2(), image, weights, layer.stride)
+    out = np.zeros(layer.output_shape(), np.int32)
+    counters = manual_conv_driver(board, image, weights, out, layer.stride)
+    if not np.array_equal(out, expected):
+        raise AssertionError(f"manual conv wrong for {layer.label}")
+    return counters
+
+
+@lru_cache(maxsize=None)
+def measure_cpu_conv(layer) -> PerfCounters:
+    board = make_pynq_z2()
+    image, weights = _conv_data(layer)
+    _, counters = cpu_conv(board, image, weights, layer.stride)
+    return counters

@@ -1,0 +1,15 @@
+"""Application frontends: the paper's end-to-end workloads.
+
+* :mod:`repro.frontends.resnet`   — the ResNet18 convolution layer suite
+  of Fig. 16;
+* :mod:`repro.frontends.tinybert` — the TinyBERT transformer of Fig. 17,
+  expressed as a graph of matmul and CPU-side ops.
+"""
+
+from .resnet import RESNET18_LAYERS, ConvLayer, scaled_layer
+from .tinybert import TinyBertConfig, TinyBertModel, tinybert_matmul_shapes
+
+__all__ = [
+    "RESNET18_LAYERS", "ConvLayer", "scaled_layer",
+    "TinyBertConfig", "TinyBertModel", "tinybert_matmul_shapes",
+]

@@ -1,0 +1,82 @@
+"""ResNet18 convolution layers (paper Fig. 16).
+
+The figure's x-axis labels each unique conv layer as
+``iHW_iC_fHW_oC_stride``; this module records those shapes and provides
+spatially scaled variants so the per-window conv simulation stays fast
+in the default benchmark run (the full shapes are available behind an
+environment flag; scaling preserves per-window behaviour and the
+relative layer ordering because costs are dominated by per-window work
+times window count).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class ConvLayer:
+    """One convolution layer shape (square spatial dims)."""
+
+    in_hw: int
+    in_ch: int
+    f_hw: int
+    out_ch: int
+    stride: int
+    batch: int = 1
+
+    @property
+    def out_hw(self) -> int:
+        return (self.in_hw - self.f_hw) // self.stride + 1
+
+    @property
+    def label(self) -> str:
+        return (f"{self.in_hw}_{self.in_ch}_{self.f_hw}"
+                f"_{self.out_ch}_{self.stride}")
+
+    @property
+    def macs(self) -> int:
+        return (self.batch * self.out_ch * self.out_hw * self.out_hw
+                * self.in_ch * self.f_hw * self.f_hw)
+
+    def input_shape(self) -> Tuple[int, int, int, int]:
+        return (self.batch, self.in_ch, self.in_hw, self.in_hw)
+
+    def filter_shape(self) -> Tuple[int, int, int, int]:
+        return (self.out_ch, self.in_ch, self.f_hw, self.f_hw)
+
+    def output_shape(self) -> Tuple[int, int, int, int]:
+        return (self.batch, self.out_ch, self.out_hw, self.out_hw)
+
+
+#: Fig. 16's eleven unique ResNet18 conv layers: (iHW, iC, fHW, oC, stride).
+RESNET18_LAYERS = (
+    ConvLayer(14, 256, 1, 512, 2),
+    ConvLayer(16, 256, 3, 256, 1),
+    ConvLayer(16, 256, 3, 512, 2),
+    ConvLayer(230, 3, 7, 64, 2),
+    ConvLayer(28, 128, 1, 256, 2),
+    ConvLayer(30, 128, 3, 128, 1),
+    ConvLayer(30, 128, 3, 256, 2),
+    ConvLayer(56, 64, 1, 128, 2),
+    ConvLayer(58, 64, 3, 128, 2),
+    ConvLayer(58, 64, 3, 64, 1),
+    ConvLayer(9, 512, 3, 512, 1),
+)
+
+
+def scaled_layer(layer: ConvLayer, max_out_hw: int = 6,
+                 max_out_ch: int = 16) -> ConvLayer:
+    """Shrink spatial extent and channel count for fast simulation.
+
+    Keeps ``iC``, ``fHW`` and ``stride`` (which drive per-window
+    behaviour and the copy-specialization effects) and clamps the output
+    spatial size / output channels (which only multiply the counts).
+    """
+    out_ch = min(layer.out_ch, max_out_ch)
+    if layer.out_hw <= max_out_hw and out_ch == layer.out_ch:
+        return layer
+    target_out = min(layer.out_hw, max_out_hw)
+    in_hw = (target_out - 1) * layer.stride + layer.f_hw
+    return replace(layer, in_hw=in_hw, out_ch=out_ch)

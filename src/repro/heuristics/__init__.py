@@ -1,0 +1,15 @@
+"""Tiling/dataflow selection heuristics for flexible accelerators
+(paper Sec. IV-C, Fig. 14)."""
+
+from .flexible import (
+    TileChoice,
+    best_configuration,
+    candidate_tiles,
+    square_tile_configuration,
+    transfer_cost_model,
+)
+
+__all__ = [
+    "TileChoice", "best_configuration", "candidate_tiles",
+    "square_tile_configuration", "transfer_cost_model",
+]

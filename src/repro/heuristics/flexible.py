@@ -1,0 +1,145 @@
+"""Tile-size and dataflow selection for flexible accelerators (Sec. IV-C).
+
+The v4 accelerator accepts rectangular tiles (multiples of its size
+quantum that fit its internal buffers).  For a MatMul problem
+``(M, N, K)`` the heuristics pick tile sizes and a stationary flow:
+
+* ``As-squareTile`` / ``Bs-squareTile`` / ``Cs-squareTile`` — fix the
+  flow, use the largest square tile that divides the problem and fits;
+* ``Best`` — search all flows and rectangular tiles, minimizing the
+  modelled host-accelerator transfer volume (the dominant cost at these
+  problem sizes), with transaction count as tie-break.
+
+The transfer model per flow (counts in elements):
+
+=====  ==================  ==================  ==================
+flow   A moved             B moved             C moved
+=====  ==================  ==================  ==================
+Ns     M*K * N/tN          K*N * M/tM          M*N * K/tK
+As     M*K                 K*N * M/tM          M*N * K/tK
+Bs     M*K * N/tN          K*N                 M*N * K/tK
+Cs     M*K * N/tN          K*N * M/tM          M*N
+=====  ==================  ==================  ==================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+FLOWS = ("Ns", "As", "Bs", "Cs")
+
+
+@dataclass(frozen=True)
+class TileChoice:
+    """One candidate configuration and its modelled cost."""
+
+    flow: str
+    tile_m: int
+    tile_n: int
+    tile_k: int
+    words_moved: int
+    transactions: int
+
+    @property
+    def tiles(self) -> Tuple[int, int, int]:
+        return (self.tile_m, self.tile_n, self.tile_k)
+
+    def label(self) -> str:
+        return f"{self.flow} {self.tile_m} {self.tile_n} {self.tile_k}"
+
+
+def candidate_tiles(extent: int, quantum: int) -> List[int]:
+    """Multiples of ``quantum`` that evenly divide ``extent``."""
+    sizes = [t for t in range(quantum, extent + 1, quantum)
+             if extent % t == 0]
+    return sizes or [extent]
+
+
+def transfer_cost_model(m: int, n: int, k: int,
+                        tile_m: int, tile_n: int, tile_k: int,
+                        flow: str) -> Tuple[int, int]:
+    """(elements moved, DMA transactions) for one configuration."""
+    trips_m = m // tile_m
+    trips_n = n // tile_n
+    trips_k = k // tile_k
+    a_once = m * k
+    b_once = k * n
+    c_once = m * n
+    if flow == "Ns":
+        words = a_once * trips_n + b_once * trips_m + c_once * trips_k
+        transactions = trips_m * trips_n * trips_k * 2
+    elif flow == "As":
+        words = a_once + b_once * trips_m + c_once * trips_k
+        transactions = trips_m * trips_k * (1 + 2 * trips_n)
+    elif flow == "Bs":
+        words = a_once * trips_n + b_once + c_once * trips_k
+        transactions = trips_n * trips_k * (1 + 2 * trips_m)
+    elif flow == "Cs":
+        words = a_once * trips_n + b_once * trips_m + c_once
+        transactions = trips_m * trips_n * (trips_k + 2)
+    else:
+        raise ValueError(f"unknown flow {flow!r}")
+    return words, transactions
+
+
+def _fits(tile_m: int, tile_n: int, tile_k: int, capacity: int) -> bool:
+    return (tile_m * tile_k <= capacity
+            and tile_k * tile_n <= capacity
+            and tile_m * tile_n <= capacity)
+
+
+def square_tile_configuration(m: int, n: int, k: int, flow: str,
+                              quantum: int, capacity: int) -> TileChoice:
+    """Largest square tile that divides every dim and fits the buffers."""
+    common = [
+        t for t in candidate_tiles(m, quantum)
+        if n % t == 0 and k % t == 0 and _fits(t, t, t, capacity)
+    ]
+    if not common:
+        raise ValueError(
+            f"no square tile of quantum {quantum} divides "
+            f"({m}, {n}, {k}) and fits {capacity} elements"
+        )
+    tile = max(common)
+    words, transactions = transfer_cost_model(m, n, k, tile, tile, tile, flow)
+    return TileChoice(flow, tile, tile, tile, words, transactions)
+
+
+def best_configuration(m: int, n: int, k: int, quantum: int, capacity: int,
+                       flows: Iterable[str] = FLOWS) -> TileChoice:
+    """Search flows x rectangular tiles for the cheapest configuration."""
+    best: Optional[TileChoice] = None
+    for flow in flows:
+        for tile_m in candidate_tiles(m, quantum):
+            for tile_n in candidate_tiles(n, quantum):
+                for tile_k in candidate_tiles(k, quantum):
+                    if not _fits(tile_m, tile_n, tile_k, capacity):
+                        continue
+                    words, transactions = transfer_cost_model(
+                        m, n, k, tile_m, tile_n, tile_k, flow
+                    )
+                    candidate = TileChoice(flow, tile_m, tile_n, tile_k,
+                                           words, transactions)
+                    if best is None or (
+                        (candidate.words_moved, candidate.transactions)
+                        < (best.words_moved, best.transactions)
+                    ):
+                        best = candidate
+    if best is None:
+        raise ValueError(
+            f"no feasible configuration for ({m}, {n}, {k}) with "
+            f"quantum {quantum} and capacity {capacity}"
+        )
+    return best
+
+
+def all_square_strategies(m: int, n: int, k: int, quantum: int,
+                          capacity: int) -> Dict[str, TileChoice]:
+    """The three square-tile heuristics of Fig. 14."""
+    return {
+        f"{flow}-squareTile": square_tile_configuration(
+            m, n, k, flow, quantum, capacity
+        )
+        for flow in ("As", "Bs", "Cs")
+    }

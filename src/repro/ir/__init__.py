@@ -1,0 +1,74 @@
+"""Miniature MLIR-style IR core: types, attributes, affine maps, SSA IR."""
+
+from .affine import (
+    AffineBinaryExpr,
+    AffineConstantExpr,
+    AffineDimExpr,
+    AffineExpr,
+    AffineMap,
+    AffineParseError,
+    parse_affine_map,
+)
+from .attributes import (
+    AffineMapAttr,
+    ArrayAttr,
+    Attribute,
+    BoolAttr,
+    DictAttr,
+    FloatAttr,
+    IntegerAttr,
+    StringAttr,
+    TypeAttr,
+    attr,
+    unwrap,
+)
+from .builder import Builder, InsertionPoint
+from .core import (
+    Block,
+    BlockArgument,
+    IRError,
+    Module,
+    Operation,
+    OpResult,
+    Region,
+    Value,
+    func_entry_block,
+    make_func,
+)
+from .printer import print_module, print_op
+from .types import (
+    DYNAMIC,
+    F32,
+    F64,
+    I1,
+    I8,
+    I16,
+    I32,
+    I64,
+    INDEX,
+    NONE,
+    FloatType,
+    FunctionType,
+    IndexType,
+    IntegerType,
+    MemRefType,
+    NoneType,
+    Type,
+    element_type_from_string,
+)
+from .verifier import VerificationError, register_verifier, verify
+
+__all__ = [
+    "AffineBinaryExpr", "AffineConstantExpr", "AffineDimExpr", "AffineExpr",
+    "AffineMap", "AffineParseError", "parse_affine_map",
+    "AffineMapAttr", "ArrayAttr", "Attribute", "BoolAttr", "DictAttr",
+    "FloatAttr", "IntegerAttr", "StringAttr", "TypeAttr", "attr", "unwrap",
+    "Builder", "InsertionPoint",
+    "Block", "BlockArgument", "IRError", "Module", "Operation", "OpResult",
+    "Region", "Value", "func_entry_block", "make_func",
+    "print_module", "print_op",
+    "DYNAMIC", "F32", "F64", "I1", "I8", "I16", "I32", "I64", "INDEX", "NONE",
+    "FloatType", "FunctionType", "IndexType", "IntegerType", "MemRefType",
+    "NoneType", "Type", "element_type_from_string",
+    "VerificationError", "register_verifier", "verify",
+]

@@ -1,0 +1,173 @@
+"""Attributes: compile-time constant metadata attached to operations.
+
+Mirrors MLIR's attribute system in miniature.  AXI4MLIR's new attributes
+(``opcode_map``, ``opcode_flow`` — paper Figs. 7 and 8) live in
+:mod:`repro.opcodes` and subclass :class:`Attribute` so they slot into the
+same dictionaries as the builtin ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Tuple
+
+from .affine import AffineMap
+from .types import Type
+
+
+class Attribute:
+    """Base class of all attributes."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self})"
+
+
+@dataclass(frozen=True)
+class IntegerAttr(Attribute):
+    value: int
+    type: Type = None  # type: ignore[assignment]
+
+    def __str__(self) -> str:
+        if self.type is None:
+            return str(self.value)
+        return f"{self.value} : {self.type}"
+
+
+@dataclass(frozen=True)
+class FloatAttr(Attribute):
+    value: float
+    type: Type = None  # type: ignore[assignment]
+
+    def __str__(self) -> str:
+        if self.type is None:
+            return repr(self.value)
+        return f"{self.value} : {self.type}"
+
+
+@dataclass(frozen=True)
+class BoolAttr(Attribute):
+    value: bool
+
+    def __str__(self) -> str:
+        return "true" if self.value else "false"
+
+
+@dataclass(frozen=True)
+class StringAttr(Attribute):
+    value: str
+
+    def __str__(self) -> str:
+        return f'"{self.value}"'
+
+
+@dataclass(frozen=True)
+class TypeAttr(Attribute):
+    value: Type
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class ArrayAttr(Attribute):
+    elements: Tuple[Attribute, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "elements", tuple(self.elements))
+
+    def __iter__(self):
+        return iter(self.elements)
+
+    def __len__(self) -> int:
+        return len(self.elements)
+
+    def __getitem__(self, index: int) -> Attribute:
+        return self.elements[index]
+
+    def __str__(self) -> str:
+        return "[" + ", ".join(str(e) for e in self.elements) + "]"
+
+
+@dataclass(frozen=True)
+class DictAttr(Attribute):
+    """An immutable string-keyed attribute dictionary."""
+
+    entries: Tuple[Tuple[str, Attribute], ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if isinstance(self.entries, Mapping):
+            object.__setattr__(self, "entries", tuple(self.entries.items()))
+        else:
+            object.__setattr__(self, "entries", tuple(self.entries))
+
+    def __contains__(self, key: str) -> bool:
+        return any(k == key for k, _ in self.entries)
+
+    def __getitem__(self, key: str) -> Attribute:
+        for k, v in self.entries:
+            if k == key:
+                return v
+        raise KeyError(key)
+
+    def get(self, key: str, default=None):
+        for k, v in self.entries:
+            if k == key:
+                return v
+        return default
+
+    def keys(self):
+        return [k for k, _ in self.entries]
+
+    def items(self):
+        return list(self.entries)
+
+    def __str__(self) -> str:
+        body = ", ".join(f"{k} = {v}" for k, v in self.entries)
+        return "{" + body + "}"
+
+
+@dataclass(frozen=True)
+class AffineMapAttr(Attribute):
+    value: AffineMap
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+def attr(value) -> Attribute:
+    """Wrap a plain Python value in the matching attribute class.
+
+    The builder API accepts raw ints/strs/bools/lists for convenience; this
+    is the single normalization point.
+    """
+    if isinstance(value, Attribute):
+        return value
+    if isinstance(value, bool):
+        return BoolAttr(value)
+    if isinstance(value, int):
+        return IntegerAttr(value)
+    if isinstance(value, float):
+        return FloatAttr(value)
+    if isinstance(value, str):
+        return StringAttr(value)
+    if isinstance(value, AffineMap):
+        return AffineMapAttr(value)
+    if isinstance(value, Type):
+        return TypeAttr(value)
+    if isinstance(value, (list, tuple)):
+        return ArrayAttr(tuple(attr(v) for v in value))
+    if isinstance(value, Mapping):
+        return DictAttr(tuple((k, attr(v)) for k, v in value.items()))
+    raise TypeError(f"cannot convert {value!r} to an attribute")
+
+
+def unwrap(attribute) -> object:
+    """Best-effort inverse of :func:`attr` for leaf attribute kinds."""
+    if isinstance(attribute, (IntegerAttr, FloatAttr, BoolAttr, StringAttr,
+                              TypeAttr, AffineMapAttr)):
+        return attribute.value
+    if isinstance(attribute, ArrayAttr):
+        return [unwrap(e) for e in attribute.elements]
+    if isinstance(attribute, DictAttr):
+        return {k: unwrap(v) for k, v in attribute.entries}
+    return attribute

@@ -1,0 +1,213 @@
+"""Type system for the miniature MLIR-style IR.
+
+Types are immutable value objects: two structurally identical types compare
+equal and hash equal, mirroring MLIR's uniqued type storage.  The textual
+forms follow MLIR syntax (``i32``, ``f32``, ``index``, ``memref<4x4xf32>``)
+so printed IR looks like the listings in the AXI4MLIR paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+#: Sentinel used for dynamic dimensions in shapes, printed as ``?``.
+DYNAMIC = -1
+
+
+class Type:
+    """Base class of all IR types."""
+
+    def __str__(self) -> str:  # pragma: no cover - overridden everywhere
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self})"
+
+
+@dataclass(frozen=True)
+class IndexType(Type):
+    """Target-width integer used for loop bounds and subscripts."""
+
+    def __str__(self) -> str:
+        return "index"
+
+
+@dataclass(frozen=True)
+class IntegerType(Type):
+    """Fixed-width (signless) integer type, e.g. ``i32``."""
+
+    width: int
+
+    def __post_init__(self) -> None:
+        if self.width <= 0:
+            raise ValueError(f"integer width must be positive, got {self.width}")
+
+    def __str__(self) -> str:
+        return f"i{self.width}"
+
+
+@dataclass(frozen=True)
+class FloatType(Type):
+    """IEEE float type, e.g. ``f32`` or ``f64``."""
+
+    width: int
+
+    def __post_init__(self) -> None:
+        if self.width not in (16, 32, 64):
+            raise ValueError(f"unsupported float width {self.width}")
+
+    def __str__(self) -> str:
+        return f"f{self.width}"
+
+
+@dataclass(frozen=True)
+class NoneType(Type):
+    """Unit type for ops that produce no meaningful value."""
+
+    def __str__(self) -> str:
+        return "none"
+
+
+def _format_dim(dim: int) -> str:
+    return "?" if dim == DYNAMIC else str(dim)
+
+
+@dataclass(frozen=True)
+class MemRefType(Type):
+    """An N-dimensional strided buffer reference (MLIR ``memref``).
+
+    ``strides`` / ``offset`` describe a strided layout; when ``strides`` is
+    ``None`` the layout is the canonical row-major (identity) layout.
+    ``offset`` of :data:`DYNAMIC` means the offset is only known at runtime,
+    which is what ``memref.subview`` produces.
+    """
+
+    shape: Tuple[int, ...]
+    element_type: Type
+    strides: Optional[Tuple[int, ...]] = None
+    offset: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "shape", tuple(self.shape))
+        if self.strides is not None:
+            object.__setattr__(self, "strides", tuple(self.strides))
+            if len(self.strides) != len(self.shape):
+                raise ValueError(
+                    f"strides rank {len(self.strides)} does not match "
+                    f"shape rank {len(self.shape)}"
+                )
+        for dim in self.shape:
+            if dim < 0 and dim != DYNAMIC:
+                raise ValueError(f"invalid dimension {dim}")
+
+    @property
+    def rank(self) -> int:
+        return len(self.shape)
+
+    @property
+    def has_static_shape(self) -> bool:
+        return all(dim != DYNAMIC for dim in self.shape)
+
+    def num_elements(self) -> int:
+        """Total element count; requires a static shape."""
+        if not self.has_static_shape:
+            raise ValueError(f"shape of {self} is not static")
+        total = 1
+        for dim in self.shape:
+            total *= dim
+        return total
+
+    def row_major_strides(self) -> Tuple[int, ...]:
+        """Canonical strides for a densely packed row-major layout."""
+        if not self.has_static_shape:
+            raise ValueError(f"shape of {self} is not static")
+        strides = [1] * self.rank
+        for axis in range(self.rank - 2, -1, -1):
+            strides[axis] = strides[axis + 1] * self.shape[axis + 1]
+        return tuple(strides)
+
+    def layout_strides(self) -> Tuple[int, ...]:
+        """Strides of this memref: explicit ones, or row-major defaults."""
+        if self.strides is not None:
+            return self.strides
+        return self.row_major_strides()
+
+    def is_contiguous_row_major(self) -> bool:
+        """True when elements are densely packed in row-major order."""
+        return self.strides is None or self.strides == self.row_major_strides()
+
+    def innermost_unit_stride(self) -> bool:
+        """True when the last dimension is unit stride (Sec. IV-B copy opt)."""
+        strides = self.layout_strides()
+        return self.rank == 0 or strides[-1] == 1
+
+    def __str__(self) -> str:
+        dims = "".join(f"{_format_dim(d)}x" for d in self.shape)
+        if self.strides is None and self.offset == 0:
+            return f"memref<{dims}{self.element_type}>"
+        strides = ", ".join(_format_dim(s) for s in self.layout_strides())
+        offset = _format_dim(self.offset)
+        return (
+            f"memref<{dims}{self.element_type}, "
+            f"strided<[{strides}], offset: {offset}>>"
+        )
+
+
+@dataclass(frozen=True)
+class FunctionType(Type):
+    """A function signature ``(inputs) -> (results)``."""
+
+    inputs: Tuple[Type, ...] = field(default_factory=tuple)
+    results: Tuple[Type, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "inputs", tuple(self.inputs))
+        object.__setattr__(self, "results", tuple(self.results))
+
+    def __str__(self) -> str:
+        ins = ", ".join(str(t) for t in self.inputs)
+        if len(self.results) == 1:
+            return f"({ins}) -> {self.results[0]}"
+        outs = ", ".join(str(t) for t in self.results)
+        return f"({ins}) -> ({outs})"
+
+
+# Commonly used singleton-ish instances.  Types are value objects, so these
+# are purely a convenience to avoid re-constructing them at every use site.
+INDEX = IndexType()
+I1 = IntegerType(1)
+I8 = IntegerType(8)
+I16 = IntegerType(16)
+I32 = IntegerType(32)
+I64 = IntegerType(64)
+F32 = FloatType(32)
+F64 = FloatType(64)
+NONE = NoneType()
+
+
+def element_type_from_string(name: str) -> Type:
+    """Parse a scalar type name such as ``i32`` or ``f32``.
+
+    Used by the accelerator configuration parser, where the JSON file spells
+    the accelerator data type as a string (Fig. 5, ``"data_type": int32``).
+    """
+    normalized = name.strip().lower()
+    aliases = {
+        "int8": "i8",
+        "int16": "i16",
+        "int32": "i32",
+        "int64": "i64",
+        "float32": "f32",
+        "float64": "f64",
+        "float": "f32",
+        "double": "f64",
+    }
+    normalized = aliases.get(normalized, normalized)
+    if normalized == "index":
+        return INDEX
+    if normalized.startswith("i") and normalized[1:].isdigit():
+        return IntegerType(int(normalized[1:]))
+    if normalized.startswith("f") and normalized[1:].isdigit():
+        return FloatType(int(normalized[1:]))
+    raise ValueError(f"unknown element type {name!r}")

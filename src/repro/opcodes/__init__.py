@@ -1,0 +1,42 @@
+"""AXI4MLIR opcode attributes: action lists and communication flows.
+
+Implements the two new MLIR attribute kinds the paper introduces:
+
+* ``opcode_map`` (Fig. 7) — a dictionary from opcode names to the sequence
+  of memory actions (``send``, ``send_literal``, ``send_dim``, ``send_idx``,
+  ``recv``) that drive the accelerator;
+* ``opcode_flow`` (Fig. 8) — a nested sequence of opcode names whose
+  parenthesization mirrors the loop scopes of the generated host code.
+"""
+
+from .actions import (
+    Action,
+    Recv,
+    Send,
+    SendDim,
+    SendIdx,
+    SendLiteral,
+)
+from .opcode_map import (
+    Opcode,
+    OpcodeMap,
+    OpcodeMapAttr,
+    OpcodeSyntaxError,
+    parse_opcode_map,
+)
+from .opcode_flow import (
+    FlowGroup,
+    FlowNode,
+    FlowOpcode,
+    OpcodeFlow,
+    OpcodeFlowAttr,
+    parse_opcode_flow,
+)
+
+__all__ = [
+    "Action", "Recv", "Send", "SendDim", "SendIdx", "SendLiteral",
+    "Opcode", "OpcodeMap", "OpcodeMapAttr", "OpcodeSyntaxError",
+    "parse_opcode_map",
+    "FlowGroup", "FlowNode", "FlowOpcode", "OpcodeFlow", "OpcodeFlowAttr",
+    "parse_opcode_flow",
+]

@@ -1,0 +1,84 @@
+"""Action dataclasses for opcode lists (paper Sec. III-B1).
+
+Each accelerator instruction is a sequence of three kinds of externally
+visible actions — send, compute (encoded as a bare literal), and receive —
+with metadata (opcode literal, operand argument, tile dimension or index).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class Action:
+    """Base class of opcode actions."""
+
+    #: True for actions that move data toward the accelerator.
+    is_send = False
+    #: True for actions that move data from the accelerator.
+    is_recv = False
+
+
+@dataclass(frozen=True)
+class SendLiteral(Action):
+    """Stage a 32-bit literal (usually the opcode word itself)."""
+
+    value: int
+    is_send = True
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.value <= 0xFFFFFFFF:
+            raise ValueError(f"literal {self.value:#x} does not fit in 32 bits")
+
+    def __str__(self) -> str:
+        return f"send_literal({self.value:#x})"
+
+
+@dataclass(frozen=True)
+class Send(Action):
+    """Stage the current tile of operand ``arg`` (0 = A, 1 = B, 2 = C...)."""
+
+    arg: int
+    is_send = True
+
+    def __str__(self) -> str:
+        return f"send({self.arg})"
+
+
+@dataclass(frozen=True)
+class SendDim(Action):
+    """Stage one dimension extent of operand ``arg``.
+
+    Fig. 15a uses the two-argument form ``send_dim(1, 3)`` — operand index
+    then dimension index — which this class follows.  (Fig. 7's grammar
+    lists a one-argument form; the paper's own example needs two.)
+    """
+
+    arg: int
+    dim: int
+    is_send = True
+
+    def __str__(self) -> str:
+        return f"send_dim({self.arg},{self.dim})"
+
+
+@dataclass(frozen=True)
+class SendIdx(Action):
+    """Stage the current index of loop dimension ``dim`` (by name)."""
+
+    dim: str
+    is_send = True
+
+    def __str__(self) -> str:
+        return f"send_idx({self.dim})"
+
+
+@dataclass(frozen=True)
+class Recv(Action):
+    """Wait for and receive the current tile of operand ``arg``."""
+
+    arg: int
+    is_recv = True
+
+    def __str__(self) -> str:
+        return f"recv({self.arg})"

@@ -1,0 +1,19 @@
+"""AXI4MLIR runtime: MemRef descriptors, copy kernels, the DMA library.
+
+This is the Python analogue of the paper's "Custom AXI DMA Library"
+(Sec. III-A): a small set of calls the generated host code uses to stage
+data into DMA regions, start/await transfers, and receive results.  All
+calls execute functionally against the simulated board *and* charge the
+performance model.
+"""
+
+from .memref import MemRefDescriptor
+from .copy import CopyKinds
+from .dma import AxiRuntime, CALL_STYLE_GENERATED, CALL_STYLE_MANUAL
+from .double_buffer import DoubleBufferedRuntime
+
+__all__ = [
+    "MemRefDescriptor", "CopyKinds",
+    "AxiRuntime", "CALL_STYLE_GENERATED", "CALL_STYLE_MANUAL",
+    "DoubleBufferedRuntime",
+]

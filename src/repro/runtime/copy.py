@@ -1,0 +1,205 @@
+"""Staging copy kernels between MemRefs and DMA regions (Sec. IV-B).
+
+Three cost styles are modelled, matching the paper's comparisons:
+
+* :data:`CopyKinds.GENERIC` — the rank-agnostic recursive copy MLIR
+  lowers to: one load + store per element, a branch per element, two
+  cache references per element.  This is AXI4MLIR's copy *before* the
+  Sec. IV-B optimization (Fig. 12a), and remains the fallback whenever
+  the innermost stride is not 1.
+* :data:`CopyKinds.SPECIALIZED` — when the innermost dimension is
+  unit-stride the compiler emits ``std::memcpy`` per contiguous row and
+  the platform compiler inlines a vectorized copy: two references per
+  cache *line*, one branch per row (Fig. 12b).  The per-row setup makes
+  short rows (conv ``fHW == 1`` windows) unprofitable, reproducing the
+  Fig. 16 regression.
+* :data:`CopyKinds.MANUAL` — the hand-written C++ baseline's staging
+  loop over bare arrays: tight pointer arithmetic, cheaper than the
+  MemRef-generic path, costlier than inlined memcpy.
+
+All styles are functionally identical (tests assert it); they differ
+only in charged costs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+import numpy as np
+
+from .memref import MemRefDescriptor
+
+
+class CopyKinds:
+    GENERIC = "generic"
+    SPECIALIZED = "specialized"
+    MANUAL = "manual"
+
+    ALL = (GENERIC, SPECIALIZED, MANUAL)
+
+
+def _row_prefix_indices(sizes: Tuple[int, ...]) -> Iterator[Tuple[int, ...]]:
+    """Iterate over all index prefixes addressing innermost rows."""
+    if len(sizes) <= 1:
+        yield ()
+        return
+    yield from np.ndindex(*sizes[:-1])
+
+
+def _row_geometry(desc: MemRefDescriptor) -> Tuple[int, int]:
+    """(row_length_elements, inner_stride) of the innermost dimension."""
+    if desc.rank == 0:
+        return 1, 1
+    return desc.sizes[-1], desc.strides[-1]
+
+
+def words_view(desc: MemRefDescriptor) -> np.ndarray:
+    """The memref contents flattened to 32-bit words (row-major)."""
+    flat = np.ascontiguousarray(desc.view()).reshape(-1)
+    return flat.view(np.uint32)
+
+
+def charge_memref_copy(board, desc: MemRefDescriptor, region_base: int,
+                       offset_bytes: int, style: str,
+                       accumulate: bool = False) -> None:
+    """Charge cycles/references/branches and touch caches for one copy.
+
+    ``region_base + offset_bytes`` is where the packed data lands in (or
+    comes from) the DMA region; the memref-side address pattern follows
+    the descriptor's strides.  ``accumulate`` models the read-modify-
+    write receive (the destination tile is read as well as written).
+    """
+    if style not in CopyKinds.ALL:
+        raise ValueError(f"unknown copy style {style!r}")
+    timing = board.timing
+    counters = board.counters
+    caches = board.caches
+    row_length, inner_stride = _row_geometry(desc)
+    elements = desc.num_elements()
+    itemsize = desc.itemsize
+    line = caches.line_size
+
+    use_fast_path = style == CopyKinds.SPECIALIZED and inner_stride == 1
+    cycles = 0.0
+
+    if use_fast_path:
+        row_bytes = row_length * itemsize
+        region_cursor = region_base + offset_bytes
+        for prefix in _row_prefix_indices(desc.sizes):
+            src_start = desc.element_address(tuple(prefix) + (0,)) \
+                if desc.rank else desc.base_address
+            lines_src = (src_start + row_bytes - 1) // line - src_start // line + 1
+            lines_dst = ((region_cursor + row_bytes - 1) // line
+                         - region_cursor // line + 1)
+            cycles += (timing.memcpy_row_setup_cycles
+                       + timing.memcpy_cycles_per_line
+                       * (lines_src + lines_dst) / 2.0)
+            counters.cache_references += (
+                timing.memcpy_references_per_line * (lines_src + lines_dst) / 2.0
+            )
+            counters.branch_instructions += timing.memcpy_branches_per_row
+            cycles += caches.touch_range(src_start, row_bytes, counters)
+            cycles += caches.touch_range(region_cursor, row_bytes, counters)
+            if accumulate:
+                # Read-modify-write: the destination rows are read again.
+                counters.cache_references += (
+                    timing.memcpy_references_per_line * lines_dst
+                )
+                cycles += 0.5 * row_length
+            region_cursor += row_bytes
+    else:
+        if style == CopyKinds.MANUAL:
+            per_elem = (timing.manual_copy_cycles,
+                        timing.manual_copy_references,
+                        timing.manual_copy_branches)
+        else:
+            per_elem = (timing.element_copy_cycles,
+                        timing.element_copy_references,
+                        timing.element_copy_branches)
+        cycles += per_elem[0] * elements
+        counters.cache_references += per_elem[1] * elements
+        counters.branch_instructions += per_elem[2] * elements
+        if accumulate:
+            counters.cache_references += elements
+            cycles += 1.0 * elements
+        # The cache footprint is the same set of lines the fast path
+        # touches; intra-copy reuse of a line always hits (tile << L1).
+        region_cursor = region_base + offset_bytes
+        row_span_bytes = ((row_length - 1) * abs(inner_stride) + 1) * itemsize
+        row_bytes = row_length * itemsize
+        for prefix in _row_prefix_indices(desc.sizes):
+            src_start = desc.element_address(tuple(prefix) + (0,)) \
+                if desc.rank else desc.base_address
+            cycles += caches.touch_range(src_start, row_span_bytes, counters)
+            cycles += caches.touch_range(region_cursor, row_bytes, counters)
+            region_cursor += row_bytes
+
+    counters.cpu_cycles += cycles
+    board.advance_cpu(cycles)
+
+
+def stage_memref_to_region(board, desc: MemRefDescriptor,
+                           region_words: np.ndarray, region_base: int,
+                           offset_bytes: int, style: str) -> int:
+    """Functionally pack a memref tile into the DMA input region.
+
+    Returns the advanced offset.  This is ``copy_to_dma_region`` of the
+    paper's library, with the packing layout being plain row-major.
+    """
+    if offset_bytes % 4:
+        raise ValueError(f"offset {offset_bytes} is not word-aligned")
+    words = words_view(desc)
+    start = offset_bytes // 4
+    end = start + words.size
+    if end > region_words.size:
+        raise ValueError(
+            f"DMA input region overflow: need {end * 4} bytes, "
+            f"have {region_words.size * 4}"
+        )
+    region_words[start:end] = words
+    charge_memref_copy(board, desc, region_base, offset_bytes, style)
+    return offset_bytes + words.size * 4
+
+
+def unstage_region_to_memref(board, desc: MemRefDescriptor,
+                             region_words: np.ndarray, region_base: int,
+                             offset_bytes: int, style: str,
+                             accumulate: bool) -> None:
+    """Copy received data from the DMA output region back into a memref."""
+    if offset_bytes % 4:
+        raise ValueError(f"offset {offset_bytes} is not word-aligned")
+    count = desc.num_elements()
+    start = offset_bytes // 4
+    end = start + count
+    if end > region_words.size:
+        raise ValueError(
+            f"DMA output region underflow: need {end * 4} bytes, "
+            f"have {region_words.size * 4}"
+        )
+    data = region_words[start:end].view(desc.dtype).reshape(desc.sizes)
+    view = desc.view()
+    if accumulate:
+        view += data
+    else:
+        view[...] = data
+    charge_memref_copy(board, desc, region_base, offset_bytes, style,
+                       accumulate=accumulate)
+
+
+def stage_word(board, region_words: np.ndarray, region_base: int,
+               offset_bytes: int, word: int) -> int:
+    """Stage one 32-bit literal/dimension/index word."""
+    if offset_bytes % 4:
+        raise ValueError(f"offset {offset_bytes} is not word-aligned")
+    index = offset_bytes // 4
+    if index >= region_words.size:
+        raise ValueError("DMA input region overflow staging a word")
+    region_words[index] = np.uint32(word & 0xFFFFFFFF)
+    counters = board.counters
+    counters.cache_references += 1
+    cycles = 2.0 + board.caches.touch_range(
+        region_base + offset_bytes, 4, counters
+    )
+    counters.cpu_cycles += cycles
+    board.advance_cpu(cycles)
+    return offset_bytes + 4

@@ -1,0 +1,29 @@
+"""Simulated SoC substrate (the paper's PYNQ-Z2 stand-in).
+
+The paper evaluates on a Zynq-7000: a dual-core ARM Cortex-A9 at 650 MHz
+(32 KiB L1D, 512 KiB shared L2) driving FPGA accelerators at 200 MHz over
+AXI-Stream DMA.  This package provides a first-order behavioural +
+performance model of that system:
+
+* :mod:`repro.soc.perf`     — the three perf counters the paper reports
+  (task-clock, cache-references, branch-instructions) plus supporting ones;
+* :mod:`repro.soc.timing`   — all timing/cost constants in one place;
+* :mod:`repro.soc.cache`    — set-associative LRU caches and a hierarchy;
+* :mod:`repro.soc.memory`   — a flat address space with a bump allocator;
+* :mod:`repro.soc.axi`      — AXI-Stream FIFO channels;
+* :mod:`repro.soc.dma_engine` — the DMA engine with staging regions;
+* :mod:`repro.soc.board`    — assembles everything into a `Board`.
+"""
+
+from .axi import AxiStreamFifo
+from .board import Board, make_pynq_z2
+from .cache import Cache, CacheHierarchy
+from .dma_engine import DmaEngine
+from .memory import MainMemory
+from .perf import PerfCounters
+from .timing import TimingModel
+
+__all__ = [
+    "AxiStreamFifo", "Board", "make_pynq_z2", "Cache", "CacheHierarchy",
+    "DmaEngine", "MainMemory", "PerfCounters", "TimingModel",
+]

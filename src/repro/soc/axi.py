@@ -1,0 +1,94 @@
+"""AXI-Stream FIFO channels.
+
+An AXI-Stream moves a variable-length burst of words in FIFO order
+(paper Sec. II-B).  For simulation speed the FIFO stores numpy word
+*chunks* rather than individual words; the accelerator side consumes a
+requested number of words across chunk boundaries, which preserves exact
+stream semantics while letting large bursts stay vectorized.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+
+class StreamUnderflow(RuntimeError):
+    """Raised when an accelerator pops more words than were streamed.
+
+    On real hardware this deadlocks the accelerator; failing loudly in
+    simulation turns driver-codegen bugs into test failures.
+    """
+
+
+class AxiStreamFifo:
+    """One direction of an AXI-Stream connection (32-bit words)."""
+
+    def __init__(self, name: str = "axis"):
+        self.name = name
+        self._chunks: List[np.ndarray] = []
+        self._available = 0
+        self.total_words_pushed = 0
+        self.total_transactions = 0
+
+    def __len__(self) -> int:
+        return self._available
+
+    def push(self, words: np.ndarray) -> None:
+        """Append a burst of 32-bit words."""
+        flat = np.ascontiguousarray(words).reshape(-1)
+        if flat.dtype.itemsize != 4:
+            raise ValueError(
+                f"{self.name}: AXI-Stream carries 32-bit words, got "
+                f"{flat.dtype}"
+            )
+        if flat.size == 0:
+            return
+        self._chunks.append(flat)
+        self._available += flat.size
+        self.total_words_pushed += flat.size
+        self.total_transactions += 1
+
+    def pop(self, count: int, dtype=np.int32) -> np.ndarray:
+        """Consume exactly ``count`` words; raises on underflow."""
+        if count < 0:
+            raise ValueError(f"cannot pop {count} words")
+        if count > self._available:
+            raise StreamUnderflow(
+                f"{self.name}: requested {count} words, only "
+                f"{self._available} available"
+            )
+        parts: List[np.ndarray] = []
+        remaining = count
+        while remaining:
+            head = self._chunks[0]
+            if head.size <= remaining:
+                parts.append(head)
+                remaining -= head.size
+                self._chunks.pop(0)
+            else:
+                parts.append(head[:remaining])
+                self._chunks[0] = head[remaining:]
+                remaining = 0
+        self._available -= count
+        if not parts:
+            return np.empty(0, dtype=dtype)
+        out = np.concatenate(parts) if len(parts) > 1 else parts[0].copy()
+        return out.view(dtype) if out.dtype != dtype else out
+
+    def peek_word(self) -> int:
+        if not self._available:
+            raise StreamUnderflow(f"{self.name}: empty")
+        return int(self._chunks[0][0])
+
+    def clear(self) -> None:
+        self._chunks.clear()
+        self._available = 0
+
+    def checkpoint(self):
+        """Snapshot for transactional pops (chunk arrays are immutable)."""
+        return list(self._chunks), self._available
+
+    def restore(self, snapshot) -> None:
+        self._chunks, self._available = list(snapshot[0]), snapshot[1]

@@ -1,0 +1,170 @@
+"""Set-associative LRU cache simulation.
+
+The simulator works at cache-line granularity: callers pass byte address
+ranges (or precomputed line addresses) and receive hit/miss counts.  The
+hierarchy wires L1D in front of a shared L2, charges the timing model's
+penalties, and updates a :class:`~repro.soc.perf.PerfCounters`.
+
+For speed the copy kernels deduplicate intra-copy line reuse analytically
+and only feed *first-touch* line sequences here (a tile is far smaller
+than L1, so intra-copy reuse always hits).  Unit tests cross-check the
+two paths on small tiles.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from .perf import PerfCounters
+from .timing import TimingModel
+
+
+class Cache:
+    """One set-associative LRU cache level."""
+
+    def __init__(self, size_bytes: int, line_size: int = 32,
+                 associativity: int = 4, name: str = "cache"):
+        if size_bytes % (line_size * associativity):
+            raise ValueError(
+                f"{name}: size {size_bytes} not divisible by "
+                f"line_size*associativity"
+            )
+        self.size_bytes = size_bytes
+        self.line_size = line_size
+        self.associativity = associativity
+        self.name = name
+        self.num_sets = size_bytes // (line_size * associativity)
+        # Per set: list of tags in LRU order (front = least recent).
+        self._sets: List[List[int]] = [[] for _ in range(self.num_sets)]
+        self.hits = 0
+        self.misses = 0
+
+    def reset(self) -> None:
+        self._sets = [[] for _ in range(self.num_sets)]
+        self.hits = 0
+        self.misses = 0
+
+    def line_of(self, address: int) -> int:
+        return address // self.line_size
+
+    def access_line(self, line: int) -> bool:
+        """Touch one line address; returns True on hit."""
+        set_index = line % self.num_sets
+        tag = line // self.num_sets
+        ways = self._sets[set_index]
+        try:
+            ways.remove(tag)
+        except ValueError:
+            self.misses += 1
+            ways.append(tag)
+            if len(ways) > self.associativity:
+                ways.pop(0)
+            return False
+        self.hits += 1
+        ways.append(tag)
+        return True
+
+    def access_lines(self, lines: Iterable[int]) -> Tuple[int, int]:
+        """Touch many lines; returns (hits, misses) for this batch."""
+        hits = 0
+        misses = 0
+        sets = self._sets
+        num_sets = self.num_sets
+        associativity = self.associativity
+        for line in lines:
+            set_index = line % num_sets
+            tag = line // num_sets
+            ways = sets[set_index]
+            if tag in ways:
+                ways.remove(tag)
+                ways.append(tag)
+                hits += 1
+            else:
+                ways.append(tag)
+                if len(ways) > associativity:
+                    ways.pop(0)
+                misses += 1
+        self.hits += hits
+        self.misses += misses
+        return hits, misses
+
+    def contains_line(self, line: int) -> bool:
+        set_index = line % self.num_sets
+        tag = line // self.num_sets
+        return tag in self._sets[set_index]
+
+    def occupancy(self) -> int:
+        """Number of resident lines (for tests)."""
+        return sum(len(ways) for ways in self._sets)
+
+
+def lines_of_range(start_byte: int, num_bytes: int, line_size: int) -> range:
+    """Line addresses covering ``[start, start+num_bytes)``."""
+    if num_bytes <= 0:
+        return range(0)
+    first = start_byte // line_size
+    last = (start_byte + num_bytes - 1) // line_size
+    return range(first, last + 1)
+
+
+class CacheHierarchy:
+    """L1D backed by a shared L2, charging miss penalties to counters."""
+
+    def __init__(self, timing: TimingModel,
+                 l1: Optional[Cache] = None, l2: Optional[Cache] = None,
+                 line_size: int = 32):
+        self.timing = timing
+        self.line_size = line_size
+        self.l1 = l1 or Cache(32 * 1024, line_size, 4, "L1D")
+        self.l2 = l2 or Cache(512 * 1024, line_size, 8, "L2")
+        if self.l1.line_size != self.l2.line_size:
+            raise ValueError("L1/L2 line sizes must agree")
+
+    def reset(self) -> None:
+        self.l1.reset()
+        self.l2.reset()
+
+    def touch_lines(self, lines: Iterable[int],
+                    counters: PerfCounters) -> float:
+        """Access lines through the hierarchy.
+
+        Updates miss counters and returns the *extra* CPU cycles incurred
+        by misses (the base access cost is charged by the caller as part
+        of its instruction cost).  Does not bump ``cache_references`` —
+        the caller decides how many architectural references the access
+        pattern performs (element-wise vs vectorized).
+        """
+        penalty = 0.0
+        timing = self.timing
+        for line in lines:
+            if self.l1.access_line(line):
+                penalty += timing.l1_hit_extra_cycles
+                continue
+            counters.cache_misses += 1
+            counters.l2_references += 1
+            if self.l2.access_line(line):
+                penalty += timing.l1_miss_penalty_cycles
+            else:
+                counters.l2_misses += 1
+                penalty += (timing.l1_miss_penalty_cycles
+                            + timing.l2_miss_penalty_cycles)
+        return penalty
+
+    def touch_range(self, start_byte: int, num_bytes: int,
+                    counters: PerfCounters) -> float:
+        return self.touch_lines(
+            lines_of_range(start_byte, num_bytes, self.line_size), counters
+        )
+
+
+def hierarchy_from_cpu_info(cpu_info, timing: TimingModel) -> CacheHierarchy:
+    """Build a hierarchy from a parsed CPU config section (Fig. 5 L1-L2)."""
+    levels = list(cpu_info.cache_levels)
+    associativity = list(cpu_info.associativity)
+    while len(associativity) < len(levels):
+        associativity.append(8)
+    line = cpu_info.line_size
+    l1 = Cache(levels[0], line, associativity[0], "L1D")
+    l2 = Cache(levels[-1] if len(levels) > 1 else levels[0] * 16,
+               line, associativity[-1], "L2")
+    return CacheHierarchy(timing, l1, l2, line)

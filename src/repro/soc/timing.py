@@ -1,0 +1,133 @@
+"""Timing and cost model constants for the simulated SoC.
+
+Every cost used by the simulation lives here so that calibration and
+ablation studies can tweak a single object.  Defaults approximate the
+paper's PYNQ-Z2 platform:
+
+* Cortex-A9 host at 650 MHz, in-order-ish scalar cost model;
+* accelerators synthesized at 200 MHz (Table I);
+* AXI-Stream over a 64-bit HP port: 8 bytes per fabric cycle (~1.6 GB/s);
+* DMA transactions with driver (MMIO) setup cost on the CPU side and a
+  fixed engine latency;
+* one-time initialization cost for ``dma_init`` — ``mmap`` of the DMA
+  regions plus engine configuration — which is what makes offload
+  irrelevant for small problems (Fig. 10).
+
+The copy-kernel costs encode the Sec. IV-B observation: the generic
+MemRef copy is a recursive, element-at-a-time loop (2 cache references
+and a branch per element), while the specialized ``memcpy`` path moves
+whole cache lines with vector registers (2 references per line, one
+branch per row).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class TimingModel:
+    # -- clocks ----------------------------------------------------------
+    cpu_freq_hz: float = 650e6
+    accel_freq_hz: float = 200e6
+
+    # -- cache latencies (extra cycles on top of the access itself) ------
+    l1_hit_extra_cycles: float = 0.0
+    l1_miss_penalty_cycles: float = 10.0
+    l2_miss_penalty_cycles: float = 80.0
+
+    # -- generic (recursive, strided) element-wise MemRef copy ------------
+    element_copy_cycles: float = 6.0
+    element_copy_references: float = 2.0
+    element_copy_branches: float = 1.0
+
+    # -- specialized contiguous (inlined memcpy) MemRef copy ---------------
+    memcpy_cycles_per_line: float = 4.0
+    memcpy_references_per_line: float = 2.0
+    memcpy_branches_per_row: float = 1.0
+    memcpy_row_setup_cycles: float = 4.0
+
+    # -- hand-written raw-array copy (the cpp_MANUAL staging loop) --------
+    # A tight C loop over bare pointers: cheaper per element than the
+    # rank-generic MemRef copy, costlier than the vectorized memcpy path.
+    manual_copy_cycles: float = 4.0
+    manual_copy_references: float = 1.2
+    manual_copy_branches: float = 0.5
+
+    # -- runtime library call overheads -----------------------------------
+    #: Compiler-specialized call: constants folded, no stride checks.
+    generated_call_cycles: float = 8.0
+    generated_call_branches: float = 1.0
+    #: Generic hand-written driver call: argument marshalling, dimension
+    #: and stride checks (the SECDA-TFLite-style library path).
+    manual_call_cycles: float = 30.0
+    manual_call_branches: float = 4.0
+
+    # -- loop bookkeeping --------------------------------------------------
+    loop_iteration_cycles: float = 2.0
+    loop_iteration_branches: float = 1.0
+    subview_cycles: float = 8.0
+
+    # -- DMA engine --------------------------------------------------------
+    #: CPU cycles to program one DMA transaction (MMIO writes + barrier).
+    dma_start_cycles: float = 150.0
+    dma_start_branches: float = 2.0
+    #: Fixed engine latency per transaction, seconds.
+    dma_latency_s: float = 0.2e-6
+    #: AXI-Stream payload width in bytes per accelerator cycle (the
+    #: Zynq HP ports are 64-bit: 8 bytes/cycle at the fabric clock).
+    axi_bytes_per_cycle: float = 8.0
+    #: One-time cost of accel.dma_init (mmap + engine setup), seconds.
+    dma_init_s: float = 0.6e-3
+    #: Busy-wait poll period while blocked, in CPU cycles.
+    poll_period_cycles: float = 30.0
+    poll_branches: float = 1.0
+
+    # -- CPU reference kernels (analytic, per multiply-accumulate) --------
+    cpu_cycles_per_mac: float = 3.5
+    cpu_references_per_mac: float = 1.0
+    cpu_branches_per_mac: float = 0.5
+    #: Fraction of CPU-kernel references that miss L1 / L2 when the
+    #: working set exceeds the respective capacity.
+    cpu_l1_miss_fraction: float = 0.06
+    cpu_l2_miss_fraction: float = 0.25
+
+    # -- derived helpers ----------------------------------------------------
+    def cpu_seconds(self, cycles: float) -> float:
+        return cycles / self.cpu_freq_hz
+
+    def accel_seconds(self, cycles: float) -> float:
+        return cycles / self.accel_freq_hz
+
+    def axi_transfer_seconds(self, num_bytes: int) -> float:
+        cycles = num_bytes / self.axi_bytes_per_cycle
+        return self.accel_seconds(cycles)
+
+
+#: Table I throughputs: accelerator tile size -> arithmetic OPs per cycle.
+TABLE1_OPS_PER_CYCLE = {4: 10, 8: 60, 16: 112}
+
+
+def matmul_ops_per_cycle(size: int) -> float:
+    """OPs/cycle for a (possibly non-Table-I) tile size.
+
+    Table I sizes use the published numbers; other sizes interpolate with
+    the same trend (throughput grows a bit below quadratically with size).
+    """
+    if size in TABLE1_OPS_PER_CYCLE:
+        return float(TABLE1_OPS_PER_CYCLE[size])
+    # Fit through (4,10), (8,60), (16,112): piecewise-linear in log2(size).
+    import math
+
+    points = sorted(TABLE1_OPS_PER_CYCLE.items())
+    if size <= points[0][0]:
+        return points[0][1] * (size / points[0][0]) ** 2
+    if size >= points[-1][0]:
+        return points[-1][1] * (size / points[-1][0]) ** 2
+    for (s0, t0), (s1, t1) in zip(points, points[1:]):
+        if s0 <= size <= s1:
+            frac = (math.log2(size) - math.log2(s0)) / (
+                math.log2(s1) - math.log2(s0)
+            )
+            return t0 + frac * (t1 - t0)
+    raise AssertionError("unreachable")

@@ -1,0 +1,124 @@
+"""Match-and-annotate pass (paper Fig. 4 step 3, Fig. 6a).
+
+Finds ``linalg.generic`` operations whose structure matches an
+accelerator's supported kernel and attaches the AXI4MLIR trait
+attributes: ``dma_init_config``, ``init_opcodes``, ``accel_dim``,
+``permutation_map`` (optional), ``opcode_map`` and ``opcode_flow``.
+
+The configuration's ``dims`` must use the kernel's canonical loop names
+(``m, n, k`` for MatMul; ``n, f, oh, ow, c, fh, fw`` for NCHW/FCHW
+convolution) so sizes and flows bind unambiguously to the operation's
+indexing maps.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..accel_config import AcceleratorInfo
+from ..dialects import linalg
+from ..ir.attributes import attr
+from ..ir.core import Module, Operation
+from ..opcodes import OpcodeFlowAttr, OpcodeMapAttr
+from .errors import CompileError
+from .pass_manager import Pass
+
+#: Attribute namespace used for all trait entries.
+PREFIX = "accel."
+
+
+def trait_attributes(info: AcceleratorInfo,
+                     flow_name: Optional[str] = None,
+                     permutation: Optional[Sequence[str]] = None) -> dict:
+    """The trait attribute dictionary for one accelerator config."""
+    flow_name = flow_name or info.selected_flow
+    attrs = {
+        PREFIX + "name": attr(info.name),
+        PREFIX + "dma_init_config": attr({
+            "id": info.dma_config.id,
+            "inputAddress": info.dma_config.input_address,
+            "inputBufferSize": info.dma_config.input_buffer_size,
+            "outputAddress": info.dma_config.output_address,
+            "outputBufferSize": info.dma_config.output_buffer_size,
+        }),
+        PREFIX + "accel_dim": attr(
+            {dim: size for dim, size in zip(info.dims, info.accel_size)}
+        ),
+        PREFIX + "opcode_map": OpcodeMapAttr(info.opcode_map),
+        PREFIX + "opcode_flow": OpcodeFlowAttr(info.flow_named(flow_name)),
+        PREFIX + "flow_name": attr(flow_name),
+        PREFIX + "data_type": attr(info.data_type),
+    }
+    if info.init_opcodes is not None:
+        attrs[PREFIX + "init_opcodes"] = OpcodeFlowAttr(info.init_opcodes)
+    if info.flexible_size:
+        attrs[PREFIX + "flex"] = attr({
+            "quantum": info.flex_quantum,
+            "capacity": info.buffer_capacity,
+        })
+    if permutation is not None:
+        attrs[PREFIX + "permutation"] = attr(list(permutation))
+    return attrs
+
+
+def is_annotated(op: Operation) -> bool:
+    return (PREFIX + "opcode_flow") in op.attributes
+
+
+def matches_kernel(op: Operation, kernel: str) -> bool:
+    return linalg.kernel_name(op) == kernel
+
+
+def check_dims_compatible(op: Operation, info: AcceleratorInfo) -> None:
+    op_dims = linalg.loop_dim_names(op)
+    if set(info.dims) != set(op_dims):
+        raise CompileError(
+            f"accelerator {info.name!r} declares dims {list(info.dims)} "
+            f"but kernel {info.kernel!r} has loop dims {list(op_dims)}; "
+            f"configuration files must use the kernel's canonical names"
+        )
+
+
+def annotate_operation(op: Operation, info: AcceleratorInfo,
+                       flow_name: Optional[str] = None,
+                       permutation: Optional[Sequence[str]] = None) -> None:
+    """Attach the trait to one matched operation."""
+    if not matches_kernel(op, info.kernel):
+        raise CompileError(
+            f"operation {op.name} does not implement {info.kernel!r}"
+        )
+    check_dims_compatible(op, info)
+    for key, value in trait_attributes(info, flow_name, permutation).items():
+        op.attributes[key] = value
+
+
+class AnnotateForAcceleratorPass(Pass):
+    """Annotate every matching ``linalg.generic`` in the module."""
+
+    name = "accel-match-annotate"
+
+    def __init__(self, info: AcceleratorInfo,
+                 flow_name: Optional[str] = None,
+                 permutation: Optional[Sequence[str]] = None,
+                 require_match: bool = True):
+        super().__init__()
+        self.info = info
+        self.flow_name = flow_name
+        self.permutation = permutation
+        self.require_match = require_match
+        self.annotated: List[Operation] = []
+
+    def run(self, module: Module) -> None:
+        self.annotated = []
+        for op in module.walk():
+            if op.name != "linalg.generic" or is_annotated(op):
+                continue
+            if matches_kernel(op, self.info.kernel):
+                annotate_operation(op, self.info, self.flow_name,
+                                   self.permutation)
+                self.annotated.append(op)
+        if self.require_match and not self.annotated:
+            raise CompileError(
+                f"no linalg.generic in the module matches kernel "
+                f"{self.info.kernel!r}"
+            )

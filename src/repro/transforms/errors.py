@@ -1,0 +1,10 @@
+"""Compilation error type shared by all transformation passes."""
+
+
+class CompileError(RuntimeError):
+    """Raised when a transformation cannot be applied.
+
+    Examples: the accelerator kernel does not match any operation in the
+    module, tile sizes do not divide the problem, or an opcode flow is
+    inconsistent with the operands it references.
+    """

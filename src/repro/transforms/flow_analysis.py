@@ -1,0 +1,289 @@
+"""Opcode-flow analysis: stationary placement and loop-order derivation.
+
+This implements the semantics of ``opcode_flow`` parentheses (paper
+Sec. III-C): nesting is "a proxy to specify multiple scopes for
+sequential or nested for loops".  Two questions are answered here:
+
+1. **Loop order** (the trait's ``permutation_map`` when the user does not
+   give one): dims needed by outer flow scopes must iterate before dims
+   only needed by inner scopes, so that outer opcodes are loop-invariant
+   in the inner loops.  E.g. the A-stationary flow ``(sA (sBcCrC))``
+   yields the ``(m, k, n)`` order of paper Fig. 6a L12.
+
+2. **Placement**: each opcode lands in the body of the innermost loop
+   its group requires — data-dependence gives a *minimum* level (the
+   deepest loop whose induction variable its operands' tile offsets
+   use), and grouping forces siblings into the same scope.  This is the
+   paper's "hoisting the accel operations up to the right loop nest
+   level".
+
+Levels are loop positions in the permuted order; level ``-1`` means
+"before all loops".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from ..opcodes import (
+    FlowGroup,
+    FlowOpcode,
+    Opcode,
+    OpcodeFlow,
+    OpcodeMap,
+    Recv,
+    Send,
+    SendDim,
+    SendIdx,
+)
+from .errors import CompileError
+
+
+def opcode_dependences(opcode: Opcode,
+                       operand_host_dims: Sequence[Set[str]],
+                       kinds: str = "all") -> Set[str]:
+    """Host-loop dims whose induction variables this opcode's data uses.
+
+    ``kinds`` selects which actions contribute: ``"all"``, ``"send"``
+    (send/send_idx only), or ``"recv"``.
+    """
+    dims: Set[str] = set()
+    for action in opcode.actions:
+        if isinstance(action, (Send, Recv)):
+            if action.arg >= len(operand_host_dims):
+                raise CompileError(
+                    f"opcode {opcode.name!r} references operand "
+                    f"{action.arg}, but the kernel has only "
+                    f"{len(operand_host_dims)} operands"
+                )
+            if kinds == "all" or                     (kinds == "send" and isinstance(action, Send)) or                     (kinds == "recv" and isinstance(action, Recv)):
+                dims |= operand_host_dims[action.arg]
+        elif isinstance(action, SendDim):
+            if action.arg >= len(operand_host_dims):
+                raise CompileError(
+                    f"opcode {opcode.name!r} references operand "
+                    f"{action.arg} in send_dim"
+                )
+            # Tile extents are compile-time constants: no dependence.
+        elif isinstance(action, SendIdx):
+            if kinds in ("all", "send"):
+                dims.add(action.dim)
+    return dims
+
+
+def _group_depths(flow: OpcodeFlow) -> Dict[str, int]:
+    """Depth of the outermost group referencing each opcode name."""
+    depths: Dict[str, int] = {}
+
+    def visit(group: FlowGroup, depth: int) -> None:
+        for item in group:
+            if isinstance(item, FlowOpcode):
+                if item.name not in depths or depth < depths[item.name]:
+                    depths[item.name] = depth
+            else:
+                visit(item, depth + 1)
+
+    visit(flow.root, 0)
+    return depths
+
+
+def derive_loop_order(
+    flow: OpcodeFlow,
+    opcode_map: OpcodeMap,
+    operand_host_dims: Sequence[Set[str]],
+    host_dims: Sequence[str],
+    tiles: Optional[Dict[str, int]] = None,
+) -> List[str]:
+    """Loop order implied by the flow's scoping (outermost first).
+
+    Each host dim is ranked by the shallowest flow scope that iterates
+    it; ties keep the kernel's original dim order.  This reproduces the
+    paper's examples: ``(sA (sBcCrC))`` -> ``(m, k, n)``;
+    ``((sA sB cC) rC)`` -> ``(m, n, k)``; the conv flow
+    ``(sF (sIcO) rO)`` -> ``(b, oc, oh, ow)``.
+    """
+    ranks = dim_ranks(flow, opcode_map, operand_host_dims, host_dims, tiles)
+    ordered = sorted(
+        host_dims,
+        key=lambda d: (ranks[d], host_dims.index(d)),
+    )
+    return list(ordered)
+
+
+# ---------------------------------------------------------------------------
+# Placement
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class PlacedOpcode:
+    name: str
+    level: int
+    #: Minimum level required by data dependence (for verification).
+    min_level: int
+
+
+@dataclass
+class PlacedGroup:
+    items: List[Union[PlacedOpcode, "PlacedGroup"]]
+    level: int
+
+
+@dataclass
+class FlowPlacement:
+    """The placed flow tree plus the loop order it was computed for."""
+
+    root: PlacedGroup
+    loop_order: Tuple[str, ...]
+    levels_by_opcode: Dict[str, int] = field(default_factory=dict)
+
+    def max_level(self) -> int:
+        result = -1
+
+        def visit(group: PlacedGroup) -> None:
+            nonlocal result
+            result = max(result, group.level)
+            for item in group.items:
+                if isinstance(item, PlacedGroup):
+                    visit(item)
+
+        visit(self.root)
+        return result
+
+
+def dim_ranks(
+    flow: OpcodeFlow,
+    opcode_map: OpcodeMap,
+    operand_host_dims: Sequence[Set[str]],
+    host_dims: Sequence[str],
+    tiles: Optional[Dict[str, int]] = None,
+) -> Dict[str, int]:
+    """Shallowest flow-scope depth that *iterates* each host dim.
+
+    Dims no opcode references get the deepest rank, so loops over them
+    land in the innermost scope.
+
+    Receive-side references on dims the accelerator does not tile
+    (tile extent 1, ``accel_dim == 0``) do not pin the rank when a
+    deeper scope also references the dim: such a receive *aggregates*
+    the dim wholesale (the conv accelerator's ``rO`` collects the whole
+    output slice that the deeper ``sIcO`` scope iterated, Fig. 15).
+    """
+    opcode_depths = _group_depths(flow)
+    max_depth = flow.depth()
+    send_rank: Dict[str, int] = {}
+    recv_rank: Dict[str, int] = {}
+    for name, depth in opcode_depths.items():
+        if name not in opcode_map:
+            raise CompileError(
+                f"flow references unknown opcode {name!r}; known: "
+                f"{opcode_map.names()}"
+            )
+        opcode = opcode_map[name]
+        for dim in opcode_dependences(opcode, operand_host_dims, "send"):
+            if dim in host_dims:
+                send_rank[dim] = min(send_rank.get(dim, depth), depth)
+        for dim in opcode_dependences(opcode, operand_host_dims, "recv"):
+            if dim in host_dims:
+                recv_rank[dim] = min(recv_rank.get(dim, depth), depth)
+
+    ranks: Dict[str, int] = {}
+    for dim in host_dims:
+        from_send = send_rank.get(dim)
+        from_recv = recv_rank.get(dim)
+        candidates = [r for r in (from_send, from_recv) if r is not None]
+        if not candidates:
+            ranks[dim] = max_depth - 1
+            continue
+        rank = min(candidates)
+        aggregatable = tiles is not None and tiles.get(dim, 0) == 1
+        if (aggregatable and from_recv is not None
+                and (from_send is None or from_recv < from_send)
+                and from_send is not None):
+            rank = from_send
+        ranks[dim] = rank
+    return ranks
+
+
+def place_flow(
+    flow: OpcodeFlow,
+    opcode_map: OpcodeMap,
+    operand_host_dims: Sequence[Set[str]],
+    loop_order: Sequence[str],
+    tiles: Optional[Dict[str, int]] = None,
+) -> FlowPlacement:
+    """Assign a loop level to every opcode/group of the flow.
+
+    A scope at tree depth ``g`` executes inside every loop whose dim is
+    first needed at depth <= ``g`` — its level is the innermost such
+    loop.  An opcode may thus sit *above* loops whose dims its operand
+    uses (conv's ``rO`` above the ``oh``/``ow`` loops): the code
+    generator then widens that operand's subview to cover the deeper
+    dims wholesale (the whole output slice).
+    """
+    positions = {dim: i for i, dim in enumerate(loop_order)}
+    ranks = dim_ranks(flow, opcode_map, operand_host_dims, loop_order, tiles)
+
+    def level_for_depth(depth: int) -> int:
+        levels = [
+            positions[d] for d, rank in ranks.items() if rank <= depth
+        ]
+        return max(levels) if levels else -1
+
+    def min_level_of(name: str) -> int:
+        dims = opcode_dependences(opcode_map[name], operand_host_dims)
+        levels = [positions[d] for d in dims if d in positions]
+        return max(levels) if levels else -1
+
+    def build(group: FlowGroup, depth: int) -> PlacedGroup:
+        group_level = level_for_depth(depth)
+        items: List[Union[PlacedOpcode, PlacedGroup]] = []
+        for item in group:
+            if isinstance(item, FlowOpcode):
+                if item.name not in opcode_map:
+                    raise CompileError(
+                        f"flow references unknown opcode {item.name!r}"
+                    )
+                items.append(
+                    PlacedOpcode(item.name, group_level,
+                                 min_level_of(item.name))
+                )
+            else:
+                items.append(build(item, depth + 1))
+        return PlacedGroup(items, group_level)
+
+    root = build(flow.root, 0)
+
+    # Nested groups never live shallower than their parent; degenerate
+    # extra parentheses (no new dims) collapse onto the parent's level
+    # and act only as a transfer-batch boundary.
+    def deepen(group: PlacedGroup, minimum: int) -> None:
+        if group.level < minimum:
+            group.level = minimum
+            for item in group.items:
+                if isinstance(item, PlacedOpcode):
+                    item.level = minimum
+        for item in group.items:
+            if isinstance(item, PlacedGroup):
+                deepen(item, group.level)
+
+    deepen(root, root.level)
+
+    max_level = len(loop_order) - 1
+    levels_by_opcode: Dict[str, int] = {}
+
+    def validate(group: PlacedGroup) -> None:
+        if group.level > max_level:
+            raise CompileError(
+                f"flow requires loop level {group.level}, but only "
+                f"{len(loop_order)} host loops exist ({list(loop_order)})"
+            )
+        for item in group.items:
+            if isinstance(item, PlacedOpcode):
+                levels_by_opcode[item.name] = item.level
+            else:
+                validate(item)
+
+    validate(root)
+    return FlowPlacement(root, tuple(loop_order), levels_by_opcode)

@@ -1,0 +1,60 @@
+"""Generalization: named linalg ops to ``linalg.generic`` (Fig. 4 step,
+"convert named ops to linalg.generic"; compare paper Fig. 2a)."""
+
+from __future__ import annotations
+
+from ..ir.attributes import unwrap
+from ..ir.builder import Builder, InsertionPoint
+from ..ir.core import Module, Operation
+from ..dialects import linalg
+from .errors import CompileError
+from .pass_manager import Pass
+
+
+def generalize_named_op(op: Operation) -> Operation:
+    """Replace one named op with the equivalent ``linalg.generic``."""
+    builder = Builder(InsertionPoint.before(op))
+    if op.name == "linalg.matmul":
+        a, rhs, out = op.operands
+        generic = linalg.generic(
+            builder,
+            linalg.matmul_maps(),
+            linalg.MATMUL_ITERATORS,
+            [a, rhs],
+            [out],
+        )
+    elif op.name == "linalg.conv_2d_nchw_fchw":
+        strides = unwrap(op.get_attr("strides")) or [1, 1]
+        if strides[0] != strides[1]:
+            raise CompileError(
+                f"anisotropic conv strides {strides} are not supported"
+            )
+        image, filter_, out = op.operands
+        generic = linalg.generic(
+            builder,
+            linalg.conv_2d_nchw_fchw_maps(stride=int(strides[0])),
+            linalg.CONV_ITERATORS,
+            [image, filter_],
+            [out],
+        )
+    else:
+        raise CompileError(f"cannot generalize {op.name}")
+    for key, value in op.attributes.items():
+        if key not in generic.attributes:
+            generic.attributes[key] = value
+    op.erase()
+    return generic
+
+
+GENERALIZABLE = ("linalg.matmul", "linalg.conv_2d_nchw_fchw")
+
+
+class GeneralizeNamedOpsPass(Pass):
+    """Rewrite every generalizable named op in the module."""
+
+    name = "generalize-named-ops"
+
+    def run(self, module: Module) -> None:
+        targets = [op for op in module.walk() if op.name in GENERALIZABLE]
+        for op in targets:
+            generalize_named_op(op)

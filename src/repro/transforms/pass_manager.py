@@ -1,0 +1,78 @@
+"""Minimal pass infrastructure: named passes over a module, with
+verification between passes and optional IR dumping for debugging."""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from ..ir.core import Module
+from ..ir.verifier import verify
+from .errors import CompileError
+
+
+class Pass:
+    """Base class: subclasses override :meth:`run`."""
+
+    #: Human-readable pass name (defaults to the class name).
+    name: str = ""
+
+    def __init__(self) -> None:
+        if not self.name:
+            self.name = type(self).__name__
+
+    def run(self, module: Module) -> None:
+        raise NotImplementedError
+
+
+class FunctionPass(Pass):
+    """Convenience base running per ``func.func``."""
+
+    def run(self, module: Module) -> None:
+        for func_op in module.functions():
+            self.run_on_function(module, func_op)
+
+    def run_on_function(self, module: Module, func_op) -> None:
+        raise NotImplementedError
+
+
+class LambdaPass(Pass):
+    def __init__(self, name: str, fn: Callable[[Module], None]):
+        self.name = name
+        super().__init__()
+        self._fn = fn
+
+    def run(self, module: Module) -> None:
+        self._fn(module)
+
+
+class PassManager:
+    """Runs a pipeline of passes, verifying the module between them."""
+
+    def __init__(self, verify_each: bool = True,
+                 dump_each: bool = False):
+        self.passes: List[Pass] = []
+        self.verify_each = verify_each
+        self.dump_each = dump_each
+        self.dumps: List[str] = []
+
+    def add(self, pass_instance: Pass) -> "PassManager":
+        self.passes.append(pass_instance)
+        return self
+
+    def run(self, module: Module) -> Module:
+        for pass_instance in self.passes:
+            try:
+                pass_instance.run(module)
+            except CompileError:
+                raise
+            except Exception as error:
+                raise CompileError(
+                    f"pass {pass_instance.name} failed: {error}"
+                ) from error
+            if self.verify_each:
+                verify(module.op)
+            if self.dump_each:
+                self.dumps.append(
+                    f"// ----- after {pass_instance.name} -----\n{module}"
+                )
+        return module

@@ -1,0 +1,38 @@
+"""The end-to-end AXI4MLIR pass pipeline (paper Fig. 4)."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..accel_config import AcceleratorInfo, CPUInfo
+from .annotate import AnnotateForAcceleratorPass
+from .generalize import GeneralizeNamedOpsPass
+from .lower_to_accel import LowerToAccelPass
+from .pass_manager import PassManager
+
+
+def build_axi4mlir_pipeline(
+    info: AcceleratorInfo,
+    cpu: Optional[CPUInfo] = None,
+    flow_name: Optional[str] = None,
+    permutation: Optional[Sequence[str]] = None,
+    enable_cpu_tiling: bool = True,
+    verify_each: bool = True,
+    dump_each: bool = False,
+) -> PassManager:
+    """Assemble the standard pipeline for one accelerator configuration.
+
+    Steps (Fig. 4): convert named ops to ``linalg.generic``; match and
+    annotate with the accelerator trait; tile for the CPU hierarchy and
+    the accelerator size while lowering to ``scf`` + ``accel``.
+    """
+    cache_bytes = cpu.last_level_size if cpu is not None else None
+    if permutation is None:
+        permutation = info.loop_permutation
+    pm = PassManager(verify_each=verify_each, dump_each=dump_each)
+    pm.add(GeneralizeNamedOpsPass())
+    pm.add(AnnotateForAcceleratorPass(info, flow_name=flow_name,
+                                      permutation=permutation))
+    pm.add(LowerToAccelPass(cpu_cache_bytes=cache_bytes,
+                            enable_cpu_tiling=enable_cpu_tiling))
+    return pm

@@ -1,0 +1,20 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.soc import Board, make_pynq_z2
+
+
+@pytest.fixture
+def board() -> Board:
+    return make_pynq_z2()
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+def random_int_matrix(rng, rows, cols, low=-8, high=8):
+    return rng.integers(low, high, (rows, cols)).astype(np.int32)

@@ -1,0 +1,178 @@
+"""Tests for configuration parsing (paper Fig. 5)."""
+
+import json
+
+import pytest
+
+from repro.accel_config import (
+    AcceleratorInfo,
+    ConfigError,
+    CPUInfo,
+    load_config,
+    parse_config,
+)
+from repro.accel_config.parser import parse_accelerator, parse_cpu, parse_size
+from repro.accelerators import matmul_config_dict
+from repro.opcodes import parse_opcode_flow, parse_opcode_map
+
+
+def full_config_dict():
+    return {
+        "cpu": {
+            "cache-levels": ["32K", "512K"],
+            "cache-types": ["data", "shared"],
+        },
+        "accelerators": [matmul_config_dict(3, 8, "Cs")],
+    }
+
+
+class TestParseSize:
+    @pytest.mark.parametrize("text,value", [
+        (32768, 32768), ("32K", 32768), ("512K", 524288),
+        ("1M", 1048576), ("0xFF00", 0xFF00), ("128", 128),
+    ])
+    def test_accepted(self, text, value):
+        assert parse_size(text) == value
+
+    def test_rejected(self):
+        with pytest.raises(ConfigError):
+            parse_size("lots")
+
+
+class TestCpuSection:
+    def test_paper_fig5_cpu(self):
+        cpu = parse_cpu({
+            "cache-levels": ["32K", "512K"],
+            "cache-types": ["data", "shared"],
+        })
+        assert cpu.l1_data_size == 32 * 1024
+        assert cpu.last_level_size == 512 * 1024
+
+    def test_defaults_are_pynq_z2(self):
+        cpu = CPUInfo()
+        assert cpu.frequency_hz == 650e6
+        assert cpu.cache_levels == (32 * 1024, 512 * 1024)
+
+    def test_mismatched_levels_rejected(self):
+        with pytest.raises(ConfigError):
+            parse_cpu({"cache-levels": [1024], "cache-types": ["data", "x"]})
+
+
+class TestAcceleratorSection:
+    def test_catalog_config_round_trip(self):
+        info = parse_accelerator(matmul_config_dict(3, 8, "Cs"))
+        assert info.name == "matmul_v3_8"
+        assert info.selected_flow == "Cs"
+        assert info.dims == ("m", "n", "k")
+        assert info.operand_names() == ("A", "B", "C")
+        assert str(info.data_type) == "i32"
+        assert "sA" in info.opcode_map
+
+    def test_missing_required_key(self):
+        config = matmul_config_dict(3, 8)
+        del config["kernel"]
+        with pytest.raises(ConfigError, match="kernel"):
+            parse_accelerator(config)
+
+    def test_bad_opcode_map_reported(self):
+        config = matmul_config_dict(3, 8)
+        config["opcode_map"] = "opcode_map < broken"
+        with pytest.raises(ConfigError, match="opcode_map"):
+            parse_accelerator(config)
+
+    def test_flow_referencing_unknown_opcode(self):
+        config = matmul_config_dict(3, 8)
+        config["opcode_flow_map"] = {"bad": "(nothere)"}
+        config["selected_flow"] = "bad"
+        with pytest.raises(ConfigError):
+            parse_accelerator(config)
+
+    def test_selected_flow_must_exist(self):
+        config = matmul_config_dict(3, 8)
+        config["selected_flow"] = "Zs"
+        with pytest.raises(ConfigError):
+            parse_accelerator(config)
+
+    def test_accel_size_dims_mismatch(self):
+        config = matmul_config_dict(3, 8)
+        config["accel_size"] = [8, 8]
+        with pytest.raises(ConfigError):
+            parse_accelerator(config)
+
+    def test_operand_with_unknown_dim(self):
+        config = matmul_config_dict(3, 8)
+        config["data"] = {"A": ["m", "zz"], "B": ["k", "n"], "C": ["m", "n"]}
+        with pytest.raises(ConfigError):
+            parse_accelerator(config)
+
+    def test_loop_permutation_validated(self):
+        config = matmul_config_dict(3, 8)
+        config["loop_permutation"] = ["m", "q", "k"]
+        with pytest.raises(ConfigError):
+            parse_accelerator(config)
+
+    def test_flow_switch_helper(self):
+        info = parse_accelerator(matmul_config_dict(3, 8, "Ns"))
+        cs = info.with_flow("Cs")
+        assert cs.selected_flow == "Cs"
+        assert info.selected_flow == "Ns"
+        with pytest.raises(KeyError):
+            info.with_flow("Xx")
+
+    def test_accel_size_override_helper(self):
+        info = parse_accelerator(matmul_config_dict(4, 16))
+        resized = info.with_accel_size((32, 16, 64))
+        assert resized.accel_size == (32, 16, 64)
+
+
+class TestFullConfig:
+    def test_parse_config(self):
+        system = parse_config(full_config_dict())
+        assert system.cpu.l1_data_size == 32 * 1024
+        assert system.accelerator().name == "matmul_v3_8"
+
+    def test_accelerator_lookup_by_name(self):
+        data = full_config_dict()
+        data["accelerators"].append(matmul_config_dict(1, 4))
+        system = parse_config(data)
+        assert system.accelerator("matmul_v1_4").version == "1.0"
+        with pytest.raises(KeyError):
+            system.accelerator()  # ambiguous
+        with pytest.raises(KeyError):
+            system.accelerator("nope")
+
+    def test_load_from_file(self, tmp_path):
+        path = tmp_path / "system.json"
+        path.write_text(json.dumps(full_config_dict()))
+        system = load_config(path)
+        assert system.accelerator().selected_flow == "Cs"
+
+    def test_invalid_json_reported(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(ConfigError, match="invalid JSON"):
+            load_config(path)
+
+    def test_accelerators_must_be_list(self):
+        with pytest.raises(ConfigError):
+            parse_config({"accelerators": {"a": 1}})
+
+
+class TestSchemaInvariants:
+    def test_direct_construction_validates(self):
+        opcode_map = parse_opcode_map("opcode_map < go = [send(0)] >")
+        flow = parse_opcode_flow("(go)")
+        with pytest.raises(ValueError):
+            AcceleratorInfo(
+                name="x", kernel="linalg.matmul",
+                accel_size=(4, 4), data_type=None,  # wrong arity
+                dims=("m", "n", "k"),
+                data=(("A", ("m", "k")),),
+                opcode_map=opcode_map,
+                opcode_flows=(("f", flow),),
+                selected_flow="f",
+            )
+
+    def test_tile_sizes_mapping(self):
+        info = parse_accelerator(matmul_config_dict(3, 8))
+        assert info.tile_sizes() == {"m": 8, "n": 8, "k": 8}

@@ -1,0 +1,264 @@
+"""Tests for the accelerator behavioural models (Table I + conv)."""
+
+import numpy as np
+import pytest
+
+from repro.accelerators import (
+    CONV_LITERALS,
+    ConvAccelerator,
+    MATMUL_LITERALS,
+    MatMulAccelerator,
+    UnknownOpcodeError,
+    make_conv_system,
+    make_matmul_system,
+    matmul_config_dict,
+)
+from repro.accelerators.matmul import VERSION_OPCODES
+from repro.soc.timing import matmul_ops_per_cycle
+
+
+def send_instruction(accel, literal, *arrays):
+    words = [np.array([literal], dtype=np.int32)]
+    words.extend(np.ascontiguousarray(a).reshape(-1).view(np.int32)
+                 for a in arrays)
+    accel.in_fifo.push(np.concatenate(words))
+
+
+class TestMatMulAccelerator:
+    def test_v1_single_instruction(self, rng):
+        accel = MatMulAccelerator(4, version=1)
+        a = rng.integers(-5, 5, (4, 4)).astype(np.int32)
+        b = rng.integers(-5, 5, (4, 4)).astype(np.int32)
+        send_instruction(accel, MATMUL_LITERALS["sAsBcCrC"], a, b)
+        accel.process_stream()
+        out = accel.out_fifo.pop(16).reshape(4, 4)
+        assert np.array_equal(out, a @ b)
+
+    def test_v3_split_opcodes(self, rng):
+        accel = MatMulAccelerator(4, version=3)
+        a = rng.integers(-5, 5, (4, 4)).astype(np.int32)
+        b = rng.integers(-5, 5, (4, 4)).astype(np.int32)
+        send_instruction(accel, MATMUL_LITERALS["sA"], a)
+        send_instruction(accel, MATMUL_LITERALS["sB"], b)
+        send_instruction(accel, MATMUL_LITERALS["cC"])
+        send_instruction(accel, MATMUL_LITERALS["rC"])
+        accel.process_stream()
+        assert np.array_equal(accel.out_fifo.pop(16).reshape(4, 4), a @ b)
+
+    def test_v3_output_stationary_accumulates(self, rng):
+        accel = MatMulAccelerator(4, version=3)
+        a1 = rng.integers(-5, 5, (4, 4)).astype(np.int32)
+        b1 = rng.integers(-5, 5, (4, 4)).astype(np.int32)
+        a2 = rng.integers(-5, 5, (4, 4)).astype(np.int32)
+        b2 = rng.integers(-5, 5, (4, 4)).astype(np.int32)
+        for a, b in ((a1, b1), (a2, b2)):
+            send_instruction(accel, MATMUL_LITERALS["sA"], a)
+            send_instruction(accel, MATMUL_LITERALS["sB"], b)
+            send_instruction(accel, MATMUL_LITERALS["cC"])
+        send_instruction(accel, MATMUL_LITERALS["rC"])
+        accel.process_stream()
+        expected = a1 @ b1 + a2 @ b2
+        assert np.array_equal(accel.out_fifo.pop(16).reshape(4, 4), expected)
+
+    def test_rc_clears_accumulator(self, rng):
+        accel = MatMulAccelerator(4, version=3)
+        a = rng.integers(-5, 5, (4, 4)).astype(np.int32)
+        b = rng.integers(-5, 5, (4, 4)).astype(np.int32)
+        send_instruction(accel, MATMUL_LITERALS["sA"], a)
+        send_instruction(accel, MATMUL_LITERALS["sB"], b)
+        send_instruction(accel, MATMUL_LITERALS["cC"])
+        send_instruction(accel, MATMUL_LITERALS["rC"])
+        send_instruction(accel, MATMUL_LITERALS["cC"])
+        send_instruction(accel, MATMUL_LITERALS["rC"])
+        accel.process_stream()
+        first = accel.out_fifo.pop(16).reshape(4, 4)
+        second = accel.out_fifo.pop(16).reshape(4, 4)
+        assert np.array_equal(first, a @ b)
+        assert np.array_equal(second, a @ b)  # recomputed, not doubled
+
+    def test_v2_combined_compute_receive(self, rng):
+        accel = MatMulAccelerator(4, version=2)
+        a = rng.integers(-5, 5, (4, 4)).astype(np.int32)
+        b = rng.integers(-5, 5, (4, 4)).astype(np.int32)
+        send_instruction(accel, MATMUL_LITERALS["sA"], a)
+        send_instruction(accel, MATMUL_LITERALS["sB"], b)
+        send_instruction(accel, MATMUL_LITERALS["cCrC"])
+        accel.process_stream()
+        assert np.array_equal(accel.out_fifo.pop(16).reshape(4, 4), a @ b)
+
+    def test_version_isa_enforced(self):
+        accel = MatMulAccelerator(4, version=1)
+        send_instruction(accel, MATMUL_LITERALS["sA"],
+                         np.zeros((4, 4), np.int32))
+        with pytest.raises(UnknownOpcodeError):
+            accel.process_stream()
+
+    def test_version_opcode_sets(self):
+        assert "cC" not in VERSION_OPCODES[2]
+        assert "cfg" in VERSION_OPCODES[4]
+        assert VERSION_OPCODES[1] == ("sAsBcCrC", "reset")
+
+    def test_reset_clears_buffers(self, rng):
+        accel = MatMulAccelerator(4, version=3)
+        a = rng.integers(-5, 5, (4, 4)).astype(np.int32)
+        send_instruction(accel, MATMUL_LITERALS["sA"], a)
+        send_instruction(accel, MATMUL_LITERALS["cC"])
+        send_instruction(accel, MATMUL_LITERALS["reset"])
+        send_instruction(accel, MATMUL_LITERALS["cC"])
+        send_instruction(accel, MATMUL_LITERALS["rC"])
+        accel.process_stream()
+        assert np.array_equal(accel.out_fifo.pop(16),
+                              np.zeros(16, np.int32))
+
+    def test_v4_configure_rectangular(self, rng):
+        accel = MatMulAccelerator(16, version=4)
+        send_instruction(accel, MATMUL_LITERALS["cfg"])
+        accel.in_fifo.push(np.array([32, 16, 64], dtype=np.int32))
+        a = rng.integers(-5, 5, (32, 64)).astype(np.int32)
+        b = rng.integers(-5, 5, (64, 16)).astype(np.int32)
+        send_instruction(accel, MATMUL_LITERALS["sA"], a)
+        send_instruction(accel, MATMUL_LITERALS["sB"], b)
+        send_instruction(accel, MATMUL_LITERALS["cC"])
+        send_instruction(accel, MATMUL_LITERALS["rC"])
+        accel.process_stream()
+        out = accel.out_fifo.pop(32 * 16).reshape(32, 16)
+        assert np.array_equal(out, a @ b)
+
+    def test_v4_quantum_enforced(self):
+        accel = MatMulAccelerator(16, version=4)
+        send_instruction(accel, MATMUL_LITERALS["cfg"])
+        accel.in_fifo.push(np.array([20, 16, 16], dtype=np.int32))
+        with pytest.raises(ValueError):
+            accel.process_stream()
+
+    def test_v4_capacity_enforced(self):
+        accel = MatMulAccelerator(16, version=4)
+        send_instruction(accel, MATMUL_LITERALS["cfg"])
+        accel.in_fifo.push(np.array([128, 16, 128], dtype=np.int32))
+        with pytest.raises(ValueError):
+            accel.process_stream()
+
+    def test_compute_cycles_follow_table1(self):
+        for size in (4, 8, 16):
+            accel = MatMulAccelerator(size, version=3)
+            send_instruction(accel, MATMUL_LITERALS["cC"])
+            cycles = accel.process_stream()
+            assert cycles == pytest.approx(
+                2 * size ** 3 / matmul_ops_per_cycle(size)
+            )
+
+    def test_float32_data(self, rng):
+        accel = MatMulAccelerator(4, version=3, dtype=np.float32)
+        a = rng.standard_normal((4, 4)).astype(np.float32)
+        b = rng.standard_normal((4, 4)).astype(np.float32)
+        send_instruction(accel, MATMUL_LITERALS["sA"], a)
+        send_instruction(accel, MATMUL_LITERALS["sB"], b)
+        send_instruction(accel, MATMUL_LITERALS["cC"])
+        send_instruction(accel, MATMUL_LITERALS["rC"])
+        accel.process_stream()
+        out = accel.out_fifo.pop(16, dtype=np.float32).reshape(4, 4)
+        assert np.allclose(out, a @ b, rtol=1e-5)
+
+    def test_unknown_version_rejected(self):
+        with pytest.raises(ValueError):
+            MatMulAccelerator(4, version=9)
+
+
+class TestConvAccelerator:
+    def drive(self, accel, image, weights):
+        """Reference driver: configure, then per-oc filter + windows."""
+        out_ch, in_ch, f_h, f_w = weights.shape
+        _, _, in_h, in_w = image.shape
+        out_h = in_h - f_h + 1
+        out_w = in_w - f_w + 1
+        accel.in_fifo.push(np.array(
+            [CONV_LITERALS["cfg_fsize"], f_h, CONV_LITERALS["cfg_ic"], in_ch],
+            dtype=np.int32,
+        ))
+        accel.process_stream()
+        slices = []
+        for oc in range(out_ch):
+            send_instruction(accel, CONV_LITERALS["sF"], weights[oc])
+            for oh in range(out_h):
+                for ow in range(out_w):
+                    window = image[0, :, oh:oh + f_h, ow:ow + f_w]
+                    send_instruction(accel, CONV_LITERALS["sIcO"], window)
+            send_instruction(accel, CONV_LITERALS["rO"])
+            accel.process_stream()
+            slices.append(
+                accel.out_fifo.pop(out_h * out_w).reshape(out_h, out_w)
+            )
+        return np.stack(slices)
+
+    def test_matches_reference_conv(self, rng):
+        in_ch, f_hw, out_ch, in_hw = 4, 3, 2, 6
+        accel = ConvAccelerator(max_ic=in_ch, max_fhw=f_hw)
+        image = rng.integers(-4, 4, (1, in_ch, in_hw, in_hw)).astype(np.int32)
+        weights = rng.integers(-4, 4, (out_ch, in_ch, f_hw, f_hw)).astype(
+            np.int32
+        )
+        got = self.drive(accel, image, weights)
+        from repro.baselines.cpu_reference import cpu_conv
+        from repro.soc import make_pynq_z2
+        expected, _ = cpu_conv(make_pynq_z2(), image, weights)
+        assert np.array_equal(got, expected[0])
+
+    def test_config_bounds_enforced(self):
+        accel = ConvAccelerator(max_ic=8, max_fhw=3)
+        accel.in_fifo.push(np.array(
+            [CONV_LITERALS["cfg_ic"], 16], dtype=np.int32
+        ))
+        with pytest.raises(ValueError):
+            accel.process_stream()
+
+    def test_ro_without_windows_rejected(self):
+        accel = ConvAccelerator()
+        accel.in_fifo.push(np.array([CONV_LITERALS["rO"]], dtype=np.int32))
+        with pytest.raises(RuntimeError):
+            accel.process_stream()
+
+    def test_slice_overflow_detected(self):
+        accel = ConvAccelerator(max_ic=1, max_fhw=1, max_slice=2)
+        accel.in_fifo.push(np.array(
+            [CONV_LITERALS["cfg_fsize"], 1, CONV_LITERALS["cfg_ic"], 1],
+            dtype=np.int32,
+        ))
+        send_instruction(accel, CONV_LITERALS["sF"],
+                         np.ones((1, 1, 1), np.int32))
+        for _ in range(3):
+            send_instruction(accel, CONV_LITERALS["sIcO"],
+                             np.ones((1, 1, 1), np.int32))
+        with pytest.raises(RuntimeError):
+            accel.process_stream()
+
+
+class TestCatalog:
+    @pytest.mark.parametrize("version,size", [(1, 4), (2, 8), (3, 16), (4, 16)])
+    def test_config_parses(self, version, size):
+        hardware, info = make_matmul_system(version, size)
+        assert info.kernel == "linalg.matmul"
+        assert hardware.size == size
+        assert info.accel_size == (size, size, size)
+
+    def test_flow_availability_matches_table1(self):
+        assert matmul_config_dict(1, 4)["opcode_flow_map"].keys() == {"Ns"}
+        assert set(matmul_config_dict(2, 8)["opcode_flow_map"]) == \
+            {"Ns", "As", "Bs"}
+        assert set(matmul_config_dict(3, 8)["opcode_flow_map"]) == \
+            {"Ns", "As", "Bs", "Cs"}
+
+    def test_invalid_flow_rejected(self):
+        with pytest.raises(ValueError):
+            matmul_config_dict(1, 4, flow="Cs")
+
+    def test_v4_flexible_metadata(self):
+        _, info = make_matmul_system(4, 16)
+        assert info.flexible_size
+        assert info.flex_quantum == 16
+        assert info.buffer_capacity == 16 * 16 * 16
+
+    def test_conv_system(self):
+        hardware, info = make_conv_system(64, 3)
+        assert info.kernel == "linalg.conv_2d_nchw_fchw"
+        assert info.loop_permutation == ("n", "f", "oh", "ow")
+        assert hardware.max_ic == 64

@@ -1,0 +1,126 @@
+"""The static traffic analyzer must match the simulation exactly."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import estimate_traffic
+from repro.accelerators import make_conv_system, make_matmul_system
+from repro.compiler import AXI4MLIRCompiler
+from repro.dialects import linalg
+from repro.heuristics import transfer_cost_model
+from repro.soc import make_pynq_z2
+from repro.transforms.annotate import PREFIX
+
+
+def compile_and_measure_matmul(version, size, flow, m, n, k):
+    hw, info = make_matmul_system(version, size, flow=flow)
+    board = make_pynq_z2()
+    board.attach_accelerator(hw)
+    compiler = AXI4MLIRCompiler(info, enable_cpu_tiling=False)
+    kernel = compiler.compile_matmul(m, n, k)
+    rng = np.random.default_rng(0)
+    a = rng.integers(-5, 5, (m, k)).astype(np.int32)
+    b = rng.integers(-5, 5, (k, n)).astype(np.int32)
+    c = np.zeros((m, n), np.int32)
+    counters = kernel.run(board, a, b, c)
+    assert np.array_equal(c, a @ b)
+    estimate = estimate_traffic(
+        kernel.plan, info.opcode_map, linalg.matmul_maps()
+    )
+    return counters, estimate
+
+
+CONFIGS = [
+    (1, 4, "Ns", 16, 16, 16),
+    (2, 8, "As", 32, 16, 24),
+    (2, 8, "Bs", 16, 32, 16),
+    (3, 8, "Ns", 32, 32, 32),
+    (3, 8, "Cs", 32, 16, 32),
+    (3, 16, "As", 32, 48, 64),
+]
+
+
+class TestMatmulTraffic:
+    @pytest.mark.parametrize("version,size,flow,m,n,k", CONFIGS)
+    def test_prediction_matches_simulation_exactly(self, version, size,
+                                                   flow, m, n, k):
+        counters, estimate = compile_and_measure_matmul(
+            version, size, flow, m, n, k
+        )
+        assert estimate.bytes_to_accel == counters.dma_bytes_to_accel
+        assert estimate.bytes_from_accel == counters.dma_bytes_from_accel
+        assert estimate.dma_transactions == counters.dma_transactions
+
+    def test_matches_heuristic_closed_form(self):
+        # The tile-payload part of the estimate equals the Sec. IV-C
+        # transfer model (literals/instruction words excluded there).
+        m = n = k = 64
+        size = 8
+        _, estimate = compile_and_measure_matmul(3, size, "Cs", m, n, k)
+        words, _ = transfer_cost_model(m, n, k, size, size, size, "Cs")
+        literal_words = (
+            estimate.executions["sA"] + estimate.executions["sB"]
+            + estimate.executions["cC"] + estimate.executions["rC"]
+            + estimate.executions["reset"]
+        )
+        payload = estimate.bytes_to_accel + estimate.bytes_from_accel \
+            - 4 * literal_words
+        assert payload == words * 4
+
+    def test_execution_counts_follow_stationarity(self):
+        _, estimate = compile_and_measure_matmul(3, 8, "As", 32, 32, 32)
+        trips = 32 // 8
+        assert estimate.executions["sA"] == trips * trips
+        assert estimate.executions["sB"] == trips ** 3
+        assert estimate.executions["rC"] == trips ** 3
+
+    def test_cpu_tiled_plans_rejected(self):
+        hw, info = make_matmul_system(3, 16, flow="Ns")
+        compiler = AXI4MLIRCompiler(info, enable_cpu_tiling=True)
+        kernel = compiler.compile_matmul(512, 512, 512)
+        with pytest.raises(ValueError):
+            estimate_traffic(kernel.plan, info.opcode_map,
+                             linalg.matmul_maps())
+
+
+class TestConvTraffic:
+    def test_prediction_matches_simulation_exactly(self):
+        layer = dict(batch=1, in_ch=8, in_hw=6, out_ch=4, f_hw=3, stride=1)
+        hw, info = make_conv_system(layer["in_ch"], layer["f_hw"])
+        board = make_pynq_z2()
+        board.attach_accelerator(hw)
+        compiler = AXI4MLIRCompiler(info, enable_cpu_tiling=False)
+        kernel = compiler.compile_conv(**layer)
+        rng = np.random.default_rng(1)
+        image = rng.integers(-3, 3, (1, 8, 6, 6)).astype(np.int32)
+        weights = rng.integers(-3, 3, (4, 8, 3, 3)).astype(np.int32)
+        out = np.zeros((1, 4, 4, 4), np.int32)
+        counters = kernel.run(board, image, weights, out)
+        estimate = estimate_traffic(
+            kernel.plan, info.opcode_map,
+            linalg.conv_2d_nchw_fchw_maps(stride=1),
+        )
+        assert estimate.bytes_to_accel == counters.dma_bytes_to_accel
+        assert estimate.bytes_from_accel == counters.dma_bytes_from_accel
+        assert estimate.dma_transactions == counters.dma_transactions
+        # One filter send per output channel, one window per pixel.
+        assert estimate.executions["sF"] == 4
+        assert estimate.executions["sIcO"] == 4 * 4 * 4
+        assert estimate.executions["rO"] == 4
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    tiles=st.tuples(st.integers(1, 3), st.integers(1, 3), st.integers(1, 3)),
+    config=st.sampled_from([(1, "Ns"), (2, "As"), (3, "Cs"), (3, "Bs")]),
+)
+def test_property_traffic_prediction_is_exact(tiles, config):
+    version, flow = config
+    size = 4
+    m, n, k = (size * t for t in tiles)
+    counters, estimate = compile_and_measure_matmul(version, size, flow,
+                                                    m, n, k)
+    assert estimate.bytes_to_accel == counters.dma_bytes_to_accel
+    assert estimate.bytes_from_accel == counters.dma_bytes_from_accel
+    assert estimate.dma_transactions == counters.dma_transactions

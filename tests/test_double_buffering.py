@@ -1,0 +1,88 @@
+"""Tests for non-blocking transfers and the double-buffered runtime
+(the paper's Sec. V ongoing-work features)."""
+
+import numpy as np
+import pytest
+
+from repro.accelerators import MatMulAccelerator, make_matmul_system
+from repro.compiler import AXI4MLIRCompiler
+from repro.runtime import AxiRuntime, DoubleBufferedRuntime
+from repro.soc import make_pynq_z2
+
+
+class TestNonBlockingSends:
+    def make(self):
+        board = make_pynq_z2()
+        board.attach_accelerator(MatMulAccelerator(8, version=3))
+        rt = AxiRuntime(board)
+        rt.dma_init(0, 0, 0x10000, 0, 0x10000)
+        return board, rt
+
+    def test_nonblocking_send_does_not_advance_past_start(self):
+        board, rt = self.make()
+        offset = rt.send_literal(0xFF, 0)
+        clock_before = board.clock
+        rt.flush_send_nonblocking(offset)
+        # Only the MMIO programming cost elapsed, not the transfer.
+        elapsed = board.clock - clock_before
+        programming = board.timing.dma_start_cycles / board.timing.cpu_freq_hz
+        assert elapsed == pytest.approx(programming)
+        assert board.dma_busy_until > board.clock
+
+    def test_wait_sends_synchronizes(self):
+        board, rt = self.make()
+        offset = rt.send_literal(0xFF, 0)
+        rt.flush_send_nonblocking(offset)
+        rt.wait_sends()
+        assert board.clock >= board.dma_busy_until
+
+    def test_back_to_back_sends_serialize_on_the_engine(self):
+        board, rt = self.make()
+        a = np.ones((8, 8), np.int32)
+        desc = rt.make_memref(a, "A")
+        first = rt.send_memref(desc, rt.send_literal(0x22, 0))
+        rt.flush_send_nonblocking(first)
+        first_done = board.dma_busy_until
+        second = rt.send_memref(desc, rt.send_literal(0x22, 0))
+        rt.flush_send_nonblocking(second)
+        assert board.dma_busy_until > first_done
+
+    def test_counters_still_track_traffic(self):
+        board, rt = self.make()
+        offset = rt.send_literal(0xFF, 0)
+        rt.flush_send_nonblocking(offset)
+        assert board.counters.dma_bytes_to_accel == 4
+        assert board.counters.dma_transactions == 1
+
+
+class TestDoubleBufferedRuntime:
+    def run_kernel(self, runtime_cls, dims=64, flow="Cs"):
+        hw, info = make_matmul_system(3, 16, flow=flow)
+        board = make_pynq_z2()
+        board.attach_accelerator(hw)
+        kernel = AXI4MLIRCompiler(info).compile_matmul(dims, dims, dims)
+        rng = np.random.default_rng(7)
+        a = rng.integers(-7, 7, (dims, dims)).astype(np.int32)
+        b = rng.integers(-7, 7, (dims, dims)).astype(np.int32)
+        c = np.zeros((dims, dims), np.int32)
+        runtime = runtime_cls(board) if runtime_cls else None
+        counters = kernel.run(board, a, b, c, runtime=runtime)
+        assert np.array_equal(c, a @ b)
+        return counters
+
+    def test_results_identical_to_blocking(self):
+        self.run_kernel(DoubleBufferedRuntime)  # asserts correctness
+
+    @pytest.mark.parametrize("flow", ["Ns", "As", "Cs"])
+    def test_faster_than_blocking(self, flow):
+        blocking = self.run_kernel(None, flow=flow)
+        buffered = self.run_kernel(DoubleBufferedRuntime, flow=flow)
+        assert buffered.task_clock_ms() < blocking.task_clock_ms()
+        assert buffered.stall_cycles < blocking.stall_cycles
+
+    def test_same_dma_traffic(self):
+        blocking = self.run_kernel(None)
+        buffered = self.run_kernel(DoubleBufferedRuntime)
+        assert buffered.dma_bytes_to_accel == blocking.dma_bytes_to_accel
+        assert buffered.dma_bytes_from_accel == blocking.dma_bytes_from_accel
+        assert buffered.dma_transactions == blocking.dma_transactions

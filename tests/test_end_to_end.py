@@ -1,0 +1,146 @@
+"""End-to-end correctness: compiled offload == numpy, across the catalog.
+
+Includes property-based shape fuzzing (hypothesis) on the full
+compile-emit-execute path.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.accelerators import make_conv_system, make_matmul_system
+from repro.baselines.cpu_reference import cpu_conv
+from repro.compiler import AXI4MLIRCompiler
+from repro.soc import make_pynq_z2
+
+
+def run_matmul(version, size, flow, m, n, k, rng, cpu_tiling=True,
+               accel_size=None, dtype=np.int32):
+    hw, info = make_matmul_system(version, size, flow=flow, dtype=dtype,
+                                  accel_size=accel_size)
+    board = make_pynq_z2()
+    board.attach_accelerator(hw)
+    kernel = AXI4MLIRCompiler(
+        info, enable_cpu_tiling=cpu_tiling
+    ).compile_matmul(m, n, k)
+    if np.issubdtype(np.dtype(dtype), np.integer):
+        a = rng.integers(-7, 7, (m, k)).astype(dtype)
+        b = rng.integers(-7, 7, (k, n)).astype(dtype)
+    else:
+        a = rng.standard_normal((m, k)).astype(dtype)
+        b = rng.standard_normal((k, n)).astype(dtype)
+    c = np.zeros((m, n), dtype)
+    counters = kernel.run(board, a, b, c)
+    return a, b, c, counters
+
+
+ALL_CONFIGS = [
+    (1, 4, "Ns"), (1, 8, "Ns"), (1, 16, "Ns"),
+    (2, 4, "Ns"), (2, 8, "As"), (2, 16, "Bs"),
+    (3, 4, "Ns"), (3, 8, "As"), (3, 8, "Bs"), (3, 8, "Cs"),
+    (3, 16, "Cs"), (4, 16, "Cs"),
+]
+
+
+class TestMatMulCatalog:
+    @pytest.mark.parametrize("version,size,flow", ALL_CONFIGS)
+    def test_square_problems_correct(self, version, size, flow, rng):
+        dims = size * 4
+        a, b, c, _ = run_matmul(version, size, flow, dims, dims, dims, rng)
+        assert np.array_equal(c, a @ b)
+
+    @pytest.mark.parametrize("flow", ["Ns", "As", "Bs", "Cs"])
+    def test_rectangular_problems_correct(self, flow, rng):
+        a, b, c, _ = run_matmul(3, 8, flow, 32, 16, 64, rng)
+        assert np.array_equal(c, a @ b)
+
+    def test_initial_c_accumulated(self, rng):
+        hw, info = make_matmul_system(3, 8, flow="Cs")
+        board = make_pynq_z2()
+        board.attach_accelerator(hw)
+        kernel = AXI4MLIRCompiler(info).compile_matmul(16, 16, 16)
+        a = rng.integers(-7, 7, (16, 16)).astype(np.int32)
+        b = rng.integers(-7, 7, (16, 16)).astype(np.int32)
+        c0 = rng.integers(-7, 7, (16, 16)).astype(np.int32)
+        c = c0.copy()
+        kernel.run(board, a, b, c)
+        assert np.array_equal(c, c0 + a @ b)
+
+    def test_repeated_kernel_invocations(self, rng):
+        # One board, two kernel executions: DMA initialized once per run
+        # via the runtime, accelerator state must not leak across runs.
+        hw, info = make_matmul_system(3, 8, flow="As")
+        board = make_pynq_z2()
+        board.attach_accelerator(hw)
+        kernel = AXI4MLIRCompiler(info).compile_matmul(16, 16, 16)
+        for _ in range(2):
+            a = rng.integers(-7, 7, (16, 16)).astype(np.int32)
+            b = rng.integers(-7, 7, (16, 16)).astype(np.int32)
+            c = np.zeros((16, 16), np.int32)
+            kernel.run(board, a, b, c)
+            assert np.array_equal(c, a @ b)
+
+    def test_v4_flexible_tiles_correct(self, rng):
+        a, b, c, _ = run_matmul(4, 16, "Cs", 64, 32, 128, rng,
+                                accel_size=(32, 16, 64))
+        assert np.array_equal(c, a @ b)
+
+    def test_float32_end_to_end(self, rng):
+        a, b, c, _ = run_matmul(3, 8, "Cs", 32, 32, 32, rng,
+                                dtype=np.float32)
+        assert np.allclose(c, a @ b, rtol=1e-4)
+
+    def test_cpu_tiling_preserves_results(self, rng):
+        with_tiling = run_matmul(3, 16, "Ns", 128, 128, 128, rng,
+                                 cpu_tiling=True)
+        without = run_matmul(3, 16, "Ns", 128, 128, 128,
+                             np.random.default_rng(1234), cpu_tiling=False)
+        assert np.array_equal(with_tiling[2], without[2])
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    tiles_m=st.integers(1, 4), tiles_n=st.integers(1, 4),
+    tiles_k=st.integers(1, 4),
+    version_flow=st.sampled_from([(1, "Ns"), (2, "As"), (2, "Bs"),
+                                  (3, "Cs"), (3, "Ns")]),
+    seed=st.integers(0, 2 ** 16),
+)
+def test_property_any_divisible_shape_is_correct(tiles_m, tiles_n, tiles_k,
+                                                 version_flow, seed):
+    version, flow = version_flow
+    size = 4
+    rng = np.random.default_rng(seed)
+    m, n, k = size * tiles_m, size * tiles_n, size * tiles_k
+    a, b, c, _ = run_matmul(version, size, flow, m, n, k, rng)
+    assert np.array_equal(c, a @ b)
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    in_ch=st.sampled_from([2, 4, 8]),
+    f_hw=st.sampled_from([1, 3]),
+    out_ch=st.integers(1, 4),
+    out_hw=st.integers(1, 4),
+    stride=st.sampled_from([1, 2]),
+    seed=st.integers(0, 2 ** 16),
+)
+def test_property_conv_offload_matches_reference(in_ch, f_hw, out_ch,
+                                                 out_hw, stride, seed):
+    rng = np.random.default_rng(seed)
+    in_hw = (out_hw - 1) * stride + f_hw
+    image = rng.integers(-4, 4, (1, in_ch, in_hw, in_hw)).astype(np.int32)
+    weights = rng.integers(-4, 4, (out_ch, in_ch, f_hw, f_hw)).astype(
+        np.int32
+    )
+    expected, _ = cpu_conv(make_pynq_z2(), image, weights, stride)
+
+    hw, info = make_conv_system(in_ch, f_hw)
+    board = make_pynq_z2()
+    board.attach_accelerator(hw)
+    kernel = AXI4MLIRCompiler(info).compile_conv(
+        1, in_ch, in_hw, out_ch, f_hw, stride
+    )
+    out = np.zeros_like(expected)
+    kernel.run(board, image, weights, out)
+    assert np.array_equal(out, expected)

@@ -1,0 +1,220 @@
+"""Tests for the flexible-tiling heuristics (Sec. IV-C) and frontends."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.frontends import (
+    RESNET18_LAYERS,
+    TinyBertConfig,
+    TinyBertModel,
+    scaled_layer,
+    tinybert_matmul_shapes,
+)
+from repro.frontends.tinybert import attention_matmul_macs, other_layer_macs
+from repro.heuristics import (
+    best_configuration,
+    candidate_tiles,
+    square_tile_configuration,
+    transfer_cost_model,
+)
+from repro.heuristics.flexible import all_square_strategies
+
+QUANTUM = 16
+CAPACITY = 16 * 16 * 16  # the v4-16 per-operand buffer
+
+
+class TestCostModel:
+    def test_candidate_tiles(self):
+        assert candidate_tiles(64, 16) == [16, 32, 64]
+        assert candidate_tiles(48, 16) == [16, 48]
+        assert candidate_tiles(8, 16) == [8]  # fallback: the extent itself
+
+    def test_ns_moves_most(self):
+        m = n = k = 256
+        costs = {
+            flow: transfer_cost_model(m, n, k, 32, 32, 32, flow)[0]
+            for flow in ("Ns", "As", "Bs", "Cs")
+        }
+        assert costs["Ns"] > costs["As"]
+        assert costs["Ns"] > costs["Bs"]
+        assert costs["Ns"] > costs["Cs"]
+
+    def test_stationary_term_exact(self):
+        # As: the A matrix moves exactly once.
+        words, _ = transfer_cost_model(64, 64, 64, 64, 16, 64, "As")
+        assert words == 64 * 64 + 64 * 64 * 1 + 64 * 64 * 1
+
+    def test_unknown_flow_rejected(self):
+        with pytest.raises(ValueError):
+            transfer_cost_model(64, 64, 64, 16, 16, 16, "Zs")
+
+
+class TestSquareTile:
+    def test_paper_fig14_square_choice(self):
+        # Paper: "T = 32 was selected for all square flows because it is
+        # the biggest value so the tiles fit inside the accelerator".
+        for m, n, k in ((256, 32, 512), (32, 256, 512), (512, 256, 32)):
+            choice = square_tile_configuration(m, n, k, "Cs", QUANTUM,
+                                               CAPACITY)
+            assert choice.tiles == (32, 32, 32)
+
+    def test_capacity_respected(self):
+        choice = square_tile_configuration(256, 256, 256, "Cs", QUANTUM,
+                                           CAPACITY)
+        assert choice.tile_m ** 2 <= CAPACITY
+
+    def test_infeasible_reported(self):
+        with pytest.raises(ValueError):
+            square_tile_configuration(31, 33, 37, "Cs", 16, CAPACITY)
+
+    def test_all_square_strategies(self):
+        strategies = all_square_strategies(256, 32, 512, QUANTUM, CAPACITY)
+        assert set(strategies) == \
+            {"As-squareTile", "Bs-squareTile", "Cs-squareTile"}
+
+
+class TestBestHeuristic:
+    @pytest.mark.parametrize("shape,expected_flow", [
+        ((256, 32, 512), "Cs"),   # paper annotation: Cs 128 32 32
+        ((256, 512, 32), "As"),   # paper annotation: As 128 32 32
+        # (512, 32, 256): the paper reports Cs 128 32 32; our transfer
+        # model rates Bs within 5%% of Cs, see EXPERIMENTS.md (tested
+        # separately below).
+        ((32, 256, 512), "Cs"),   # paper annotation: Cs 32 128 32
+        ((512, 256, 32), "Bs"),   # paper annotation: Bs 32 128 32
+    ])
+    def test_paper_fig14_best_flow(self, shape, expected_flow):
+        m, n, k = shape
+        best = best_configuration(m, n, k, QUANTUM, CAPACITY)
+        assert best.flow == expected_flow
+
+    def test_fig14_512_32_256_near_tie(self):
+        # The paper picks Cs 128 32 32 here; our volume model ranks Bs
+        # marginally cheaper.  Assert the tie is within 10%.
+        best = best_configuration(512, 32, 256, QUANTUM, CAPACITY)
+        cs_words, _ = transfer_cost_model(512, 32, 256, 128, 32, 32, "Cs")
+        assert best.flow in ("Bs", "Cs")
+        assert best.words_moved <= cs_words <= best.words_moved * 1.10
+
+    def test_best_never_worse_than_square(self):
+        for m, n, k in ((256, 32, 512), (32, 512, 256), (512, 32, 256)):
+            best = best_configuration(m, n, k, QUANTUM, CAPACITY)
+            for strategy in all_square_strategies(m, n, k, QUANTUM,
+                                                  CAPACITY).values():
+                assert best.words_moved <= strategy.words_moved
+
+    def test_buffers_respected(self):
+        best = best_configuration(512, 512, 512, QUANTUM, CAPACITY)
+        assert best.tile_m * best.tile_k <= CAPACITY
+        assert best.tile_k * best.tile_n <= CAPACITY
+        assert best.tile_m * best.tile_n <= CAPACITY
+
+    def test_label(self):
+        best = best_configuration(256, 32, 512, QUANTUM, CAPACITY)
+        assert best.label().startswith(best.flow)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        m=st.sampled_from([32, 64, 128, 256]),
+        n=st.sampled_from([32, 64, 128, 256]),
+        k=st.sampled_from([32, 64, 128, 256]),
+    )
+    def test_best_is_global_minimum(self, m, n, k):
+        best = best_configuration(m, n, k, QUANTUM, CAPACITY)
+        # Spot-check against a coarse exhaustive scan of square tiles.
+        for flow in ("Ns", "As", "Bs", "Cs"):
+            for tile in candidate_tiles(min(m, n, k), QUANTUM):
+                if tile * tile > CAPACITY:
+                    continue
+                if any(d % tile for d in (m, n, k)):
+                    continue
+                words, _ = transfer_cost_model(m, n, k, tile, tile, tile,
+                                               flow)
+                assert best.words_moved <= words
+
+
+class TestResNetLayers:
+    def test_eleven_unique_layers(self):
+        assert len(RESNET18_LAYERS) == 11
+        assert len({layer.label for layer in RESNET18_LAYERS}) == 11
+
+    def test_paper_labels_present(self):
+        labels = {layer.label for layer in RESNET18_LAYERS}
+        assert "56_64_1_128_2" in labels   # the one regressing layer
+        assert "230_3_7_64_2" in labels    # the stem conv
+
+    def test_output_geometry(self):
+        stem = next(l for l in RESNET18_LAYERS if l.label == "230_3_7_64_2")
+        assert stem.out_hw == 112
+
+    def test_scaling_preserves_window_shape(self):
+        layer = next(l for l in RESNET18_LAYERS
+                     if l.label == "56_64_1_128_2")
+        small = scaled_layer(layer, max_out_hw=6, max_out_ch=8)
+        assert small.in_ch == layer.in_ch
+        assert small.f_hw == layer.f_hw
+        assert small.stride == layer.stride
+        assert small.out_hw <= 6
+        assert small.out_ch <= 8
+
+    def test_scaling_idempotent_for_small_layers(self):
+        layer = scaled_layer(RESNET18_LAYERS[0], 1000, 1000)
+        assert layer == RESNET18_LAYERS[0]
+
+
+class TestTinyBert:
+    def test_gemm_workload_shapes(self):
+        shapes = {s.name: s for s in tinybert_matmul_shapes()}
+        assert shapes["qkv_proj"].count == 12       # 3 per layer, 4 layers
+        assert shapes["ffn_up"].n == 1200
+        assert shapes["qkv_proj"].m == 256          # batch 2 x seq 128
+
+    def test_padding_to_quantum(self):
+        shape = tinybert_matmul_shapes()[0]
+        assert shape.padded(16) == (256, 320, 320)
+
+    def test_matmul_share_of_cpu_runtime(self):
+        config = TinyBertConfig()
+        gemm_macs = sum(s.macs for s in tinybert_matmul_shapes(config))
+        total = (gemm_macs + attention_matmul_macs(config)
+                 + other_layer_macs(config))
+        share = gemm_macs / total
+        # Paper: accelerated matmuls are ~75% of original CPU runtime.
+        assert 0.70 <= share <= 0.80
+
+    def test_forward_shapes(self):
+        config = TinyBertConfig(num_layers=1, seq_len=8, batch=1)
+        model = TinyBertModel(config)
+        x = np.random.default_rng(0).standard_normal(
+            (8, config.hidden)
+        ).astype(np.float32)
+        out = model.forward(x)
+        assert out.shape == (8, config.hidden)
+        assert np.isfinite(out).all()
+
+    def test_forward_gemm_hook_called_for_projections(self):
+        config = TinyBertConfig(num_layers=2, seq_len=8, batch=1)
+        model = TinyBertModel(config)
+        calls = []
+
+        def spy(a, b):
+            calls.append((a.shape, b.shape))
+            return a @ b
+
+        x = np.zeros((8, config.hidden), np.float32)
+        model.forward(x, matmul_fn=spy)
+        # 6 offloadable GEMMs per layer (q, k, v, out, ffn up, ffn down).
+        assert len(calls) == 12
+
+    def test_forward_deterministic(self):
+        config = TinyBertConfig(num_layers=1, seq_len=4, batch=1)
+        x = np.ones((4, config.hidden), np.float32)
+        out1 = TinyBertModel(config, seed=7).forward(x)
+        out2 = TinyBertModel(config, seed=7).forward(x)
+        assert np.array_equal(out1, out2)
+
+    def test_bad_activation_shape_rejected(self):
+        model = TinyBertModel(TinyBertConfig(num_layers=1))
+        with pytest.raises(ValueError):
+            model.forward(np.zeros((8, 99), np.float32))

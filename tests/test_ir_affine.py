@@ -1,0 +1,172 @@
+"""Tests for repro.ir.affine: expressions, maps, and the parser."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ir.affine import (
+    AffineBinaryExpr,
+    AffineConstantExpr,
+    AffineDimExpr,
+    AffineMap,
+    AffineParseError,
+    parse_affine_map,
+)
+
+
+class TestExpressions:
+    def test_dim_evaluate(self):
+        assert AffineDimExpr(1).evaluate([10, 20, 30]) == 20
+
+    def test_constant_evaluate(self):
+        assert AffineConstantExpr(7).evaluate([]) == 7
+
+    def test_add_mul(self):
+        expr = AffineBinaryExpr(
+            "+",
+            AffineBinaryExpr("*", AffineDimExpr(0), AffineConstantExpr(2)),
+            AffineDimExpr(1),
+        )
+        assert expr.evaluate([3, 4]) == 10
+
+    def test_mod_floordiv(self):
+        mod = AffineBinaryExpr("mod", AffineDimExpr(0), AffineConstantExpr(4))
+        div = AffineBinaryExpr("floordiv", AffineDimExpr(0),
+                               AffineConstantExpr(4))
+        assert mod.evaluate([11]) == 3
+        assert div.evaluate([11]) == 2
+
+    def test_used_dims(self):
+        expr = AffineBinaryExpr("+", AffineDimExpr(0), AffineDimExpr(2))
+        assert expr.used_dims() == frozenset({0, 2})
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(ValueError):
+            AffineBinaryExpr("^", AffineDimExpr(0), AffineDimExpr(1))
+
+
+class TestAffineMap:
+    def test_identity(self):
+        m = AffineMap.identity(3, ("m", "n", "k"))
+        assert m.evaluate([1, 2, 3]) == (1, 2, 3)
+        assert m.is_permutation()
+
+    def test_permutation(self):
+        m = AffineMap.permutation([2, 0, 1])
+        assert m.evaluate([10, 20, 30]) == (30, 10, 20)
+        assert m.permutation_vector() == (2, 0, 1)
+
+    def test_bad_permutation_rejected(self):
+        with pytest.raises(ValueError):
+            AffineMap.permutation([0, 0, 1])
+
+    def test_constant_map(self):
+        m = AffineMap.constant([4, 4, 4], 3, ("m", "n", "k"))
+        assert m.evaluate([9, 9, 9]) == (4, 4, 4)
+
+    def test_projected_permutation(self):
+        m = AffineMap(3, (AffineDimExpr(0), AffineDimExpr(2)))
+        assert m.is_projected_permutation()
+        assert not m.is_permutation()
+
+    def test_out_of_range_dim_rejected(self):
+        with pytest.raises(ValueError):
+            AffineMap(2, (AffineDimExpr(5),))
+
+    def test_evaluate_arity_checked(self):
+        m = AffineMap.identity(2)
+        with pytest.raises(ValueError):
+            m.evaluate([1, 2, 3])
+
+    def test_str_with_names(self):
+        m = AffineMap(3, (AffineDimExpr(0), AffineDimExpr(2)), ("m", "n", "k"))
+        assert str(m) == "affine_map<(m, n, k) -> (m, k)>"
+
+    def test_compose_permutation(self):
+        base = AffineMap(3, (AffineDimExpr(0), AffineDimExpr(2)),
+                         ("m", "n", "k"))
+        perm = AffineMap.permutation([0, 2, 1], ("m", "n", "k"))
+        composed = base.compose_permutation(perm)
+        # New input space is (m, k, n): A's (m, k) is now dims (0, 1).
+        assert composed.evaluate([5, 7, 9]) == (5, 7)
+
+
+class TestParser:
+    def test_paper_matmul_map(self):
+        m = parse_affine_map("affine_map<(m, n, k) -> (m, k)>")
+        assert m.num_dims == 3
+        assert m.evaluate([1, 2, 3]) == (1, 3)
+        assert m.dim_names == ("m", "n", "k")
+
+    def test_paper_permutation_map(self):
+        m = parse_affine_map("affine_map<(m, n, k) -> (m, k, n)>")
+        assert m.permutation_vector() == (0, 2, 1)
+
+    def test_paper_accel_dim_map(self):
+        m = parse_affine_map("map<(m, n, k) -> (4, 4, 4)>")
+        assert m.evaluate([60, 72, 80]) == (4, 4, 4)
+
+    def test_conv_compound_expr(self):
+        m = parse_affine_map(
+            "affine_map<(n, f, oh, ow, c, fh, fw) -> "
+            "(n, c, oh * 2 + fh, ow * 2 + fw)>"
+        )
+        assert m.evaluate([0, 0, 3, 1, 5, 2, 1]) == (0, 5, 8, 3)
+
+    def test_precedence(self):
+        m = parse_affine_map("(a, b) -> (a + b * 3)")
+        assert m.evaluate([1, 2]) == (7,)
+
+    def test_parentheses(self):
+        m = parse_affine_map("(a, b) -> ((a + b) * 3)")
+        assert m.evaluate([1, 2]) == (9,)
+
+    def test_mod_and_floordiv_keywords(self):
+        m = parse_affine_map("(i) -> (i mod 4, i floordiv 4)")
+        assert m.evaluate([13]) == (1, 3)
+
+    def test_negation(self):
+        m = parse_affine_map("(i) -> (-i + 10)")
+        assert m.evaluate([3]) == (7,)
+
+    @pytest.mark.parametrize("bad", [
+        "affine_map<(m, n -> (m)>",
+        "(m, n) -> (q)",
+        "(m, m) -> (m)",
+        "(m) -> (m) trailing",
+        "(m) -> (m ++ m)",
+    ])
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(AffineParseError):
+            parse_affine_map(bad)
+
+    def test_round_trip_through_str(self):
+        original = parse_affine_map("affine_map<(m, n, k) -> (k, n)>")
+        again = parse_affine_map(str(original))
+        assert again == original
+
+
+@given(
+    perm=st.permutations(range(4)),
+    point=st.tuples(*[st.integers(-100, 100)] * 4),
+)
+def test_permutation_map_is_bijective(perm, point):
+    m = AffineMap.permutation(list(perm))
+    image = m.evaluate(list(point))
+    # Applying the inverse permutation recovers the original point.
+    inverse = [0] * 4
+    for result_pos, dim in enumerate(perm):
+        inverse[dim] = result_pos
+    recovered = tuple(image[inverse[d]] for d in range(4))
+    assert recovered == point
+
+
+@given(
+    coeffs=st.lists(st.integers(0, 5), min_size=2, max_size=4),
+    point=st.lists(st.integers(0, 50), min_size=4, max_size=4),
+)
+def test_parsed_linear_expr_matches_manual_evaluation(coeffs, point):
+    dims = ["a", "b", "c", "d"][: len(coeffs)]
+    expr = " + ".join(f"{c} * {d}" for c, d in zip(coeffs, dims))
+    m = parse_affine_map(f"({', '.join(dims)}) -> ({expr})")
+    expected = sum(c * p for c, p in zip(coeffs, point))
+    assert m.evaluate(point[: len(coeffs)]) == (expected,)

@@ -1,0 +1,208 @@
+"""Tests for the SSA core: values, operations, blocks, use-def chains."""
+
+import pytest
+
+from repro.ir import (
+    Builder,
+    InsertionPoint,
+    IRError,
+    Module,
+    Operation,
+    VerificationError,
+    attr,
+    make_func,
+    verify,
+)
+from repro.ir.attributes import IntegerAttr, StringAttr, unwrap
+from repro.ir.core import func_entry_block
+from repro.ir.types import F32, I32, INDEX
+from repro.dialects import arith, func, scf
+
+
+def empty_func(name="f", num_args=0):
+    return make_func(name, [INDEX] * num_args)
+
+
+class TestOperation:
+    def test_results_created_from_types(self):
+        op = Operation("test.op", result_types=[I32, F32])
+        assert [str(r.type) for r in op.results] == ["i32", "f32"]
+
+    def test_operand_use_recorded(self):
+        producer = Operation("test.def", result_types=[I32])
+        consumer = Operation("test.use", operands=[producer.results[0]])
+        assert (consumer, 0) in producer.results[0].uses
+
+    def test_replace_all_uses(self):
+        a = Operation("test.a", result_types=[I32])
+        b = Operation("test.b", result_types=[I32])
+        user = Operation("test.use", operands=[a.results[0], a.results[0]])
+        a.results[0].replace_all_uses_with(b.results[0])
+        assert user.operands == (b.results[0], b.results[0])
+        assert not a.results[0].has_uses()
+
+    def test_erase_detaches_and_clears_uses(self):
+        f = empty_func()
+        block = func_entry_block(f)
+        b = Builder(InsertionPoint.at_end(block))
+        c = arith.index_constant(b, 1)
+        add = b.create("arith.addi", operands=[c, c], result_types=[INDEX])
+        add.erase()
+        assert add.parent is None
+        assert not c.uses
+
+    def test_erase_with_live_uses_rejected(self):
+        f = empty_func()
+        b = Builder(InsertionPoint.at_end(func_entry_block(f)))
+        c = arith.index_constant(b, 1)
+        b.create("test.use", operands=[c])
+        with pytest.raises(IRError):
+            c.owner.erase()
+
+    def test_single_result_accessor(self):
+        op = Operation("test.op", result_types=[I32])
+        assert op.result is op.results[0]
+        two = Operation("test.two", result_types=[I32, I32])
+        with pytest.raises(IRError):
+            _ = two.result
+
+    def test_move_before_and_after(self):
+        f = empty_func()
+        block = func_entry_block(f)
+        b = Builder(InsertionPoint.at_end(block))
+        first = b.create("test.a")
+        second = b.create("test.b")
+        second.move_before(first)
+        assert [op.name for op in block] == ["test.b", "test.a"]
+        second.move_after(first)
+        assert [op.name for op in block] == ["test.a", "test.b"]
+
+    def test_attributes_normalized(self):
+        op = Operation("test.op", attributes={"count": 3, "name": "x"})
+        assert isinstance(op.get_attr("count"), IntegerAttr)
+        assert isinstance(op.get_attr("name"), StringAttr)
+        assert unwrap(op.get_attr("count")) == 3
+
+    def test_walk_pre_and_post_order(self):
+        f = empty_func()
+        b = Builder(InsertionPoint.at_end(func_entry_block(f)))
+        zero = arith.index_constant(b, 0)
+        one = arith.index_constant(b, 1)
+        with scf.build_for(b, zero, one, one):
+            b.create("test.inner")
+        names_pre = [op.name for op in f.walk()]
+        assert names_pre.index("scf.for") < names_pre.index("test.inner")
+        names_post = [op.name for op in f.walk(post_order=True)]
+        assert names_post.index("test.inner") < names_post.index("scf.for")
+
+    def test_clone_remaps_nested_values(self):
+        f = empty_func()
+        b = Builder(InsertionPoint.at_end(func_entry_block(f)))
+        zero = arith.index_constant(b, 0)
+        four = arith.index_constant(b, 4)
+        with scf.build_for(b, zero, four, four) as iv:
+            b.create("test.use", operands=[iv])
+        loop = func_entry_block(f).operations[-1]
+        clone = loop.clone()
+        cloned_use = clone.regions[0].entry_block.operations[0]
+        assert cloned_use.operands[0] is clone.regions[0].entry_block.arguments[0]
+        # The original is untouched.
+        original_use = loop.regions[0].entry_block.operations[0]
+        assert original_use.operands[0] is loop.regions[0].entry_block.arguments[0]
+
+    def test_set_operand_bounds_checked(self):
+        a = Operation("test.a", result_types=[I32])
+        user = Operation("test.use", operands=[a.results[0]])
+        with pytest.raises(IRError):
+            user.set_operand(3, a.results[0])
+
+
+class TestBlockRegion:
+    def test_append_rejects_attached(self):
+        f1 = empty_func("f1")
+        f2 = empty_func("f2")
+        op = Operation("test.op")
+        func_entry_block(f1).append(op)
+        with pytest.raises(IRError):
+            func_entry_block(f2).append(op)
+
+    def test_add_argument(self):
+        f = empty_func()
+        block = func_entry_block(f)
+        argument = block.add_argument(I32)
+        assert argument.index == 0
+        assert argument.owner is block
+
+
+class TestModule:
+    def test_lookup_by_symbol(self):
+        module = Module()
+        f = make_func("target", [])
+        module.add_function(f)
+        assert module.lookup("target") is f
+        with pytest.raises(KeyError):
+            module.lookup("missing")
+
+    def test_add_function_type_checked(self):
+        module = Module()
+        with pytest.raises(IRError):
+            module.add_function(Operation("test.notafunc"))
+
+    def test_functions_listed(self):
+        module = Module()
+        module.add_function(make_func("a", []))
+        module.add_function(make_func("b", []))
+        assert [func.func_name(f) for f in module.functions()] == ["a", "b"]
+
+
+class TestVerifier:
+    def test_valid_module_verifies(self):
+        module = Module()
+        f = module.add_function(make_func("ok", [INDEX]))
+        b = Builder(InsertionPoint.at_end(func_entry_block(f)))
+        func.ret(b)
+        verify(module.op)
+
+    def test_use_before_def_detected(self):
+        module = Module()
+        f = module.add_function(make_func("bad", []))
+        block = func_entry_block(f)
+        b = Builder(InsertionPoint.at_end(block))
+        const = arith.index_constant(b, 1)
+        user = b.create("test.use", operands=[const])
+        func.ret(b)
+        # Move the constant after its user: now a use-before-def.
+        const_op = const.owner
+        const_op.move_after(user)
+        with pytest.raises(VerificationError):
+            verify(module.op)
+
+    def test_terminator_position_enforced(self):
+        module = Module()
+        f = module.add_function(make_func("bad", []))
+        b = Builder(InsertionPoint.at_end(func_entry_block(f)))
+        func.ret(b)
+        func_entry_block(f).append(Operation("test.after"))
+        with pytest.raises(VerificationError):
+            verify(module.op)
+
+    def test_values_from_enclosing_region_visible(self):
+        module = Module()
+        f = module.add_function(make_func("nest", []))
+        b = Builder(InsertionPoint.at_end(func_entry_block(f)))
+        zero = arith.index_constant(b, 0)
+        one = arith.index_constant(b, 1)
+        with scf.build_for(b, zero, one, one):
+            b.create("test.use", operands=[zero])
+        func.ret(b)
+        verify(module.op)
+
+
+class TestAttrHelper:
+    def test_round_trip(self):
+        value = {"a": 1, "b": [True, "x"], "c": 2.5}
+        assert unwrap(attr(value)) == value
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(TypeError):
+            attr(object())

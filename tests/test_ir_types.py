@@ -1,0 +1,122 @@
+"""Tests for repro.ir.types."""
+
+import pytest
+
+from repro.ir.types import (
+    DYNAMIC,
+    F32,
+    I32,
+    INDEX,
+    FloatType,
+    FunctionType,
+    IntegerType,
+    MemRefType,
+    element_type_from_string,
+)
+
+
+class TestScalarTypes:
+    def test_integer_str(self):
+        assert str(IntegerType(32)) == "i32"
+        assert str(IntegerType(1)) == "i1"
+
+    def test_integer_equality_is_structural(self):
+        assert IntegerType(32) == I32
+        assert IntegerType(16) != I32
+
+    def test_integer_width_must_be_positive(self):
+        with pytest.raises(ValueError):
+            IntegerType(0)
+        with pytest.raises(ValueError):
+            IntegerType(-8)
+
+    def test_float_str(self):
+        assert str(FloatType(32)) == "f32"
+        assert str(FloatType(64)) == "f64"
+
+    def test_float_rejects_odd_widths(self):
+        with pytest.raises(ValueError):
+            FloatType(24)
+
+    def test_index_str(self):
+        assert str(INDEX) == "index"
+
+    def test_types_are_hashable(self):
+        assert len({I32, IntegerType(32), F32, INDEX}) == 3
+
+
+class TestMemRefType:
+    def test_str_default_layout(self):
+        t = MemRefType((4, 4), F32)
+        assert str(t) == "memref<4x4xf32>"
+
+    def test_str_strided_layout(self):
+        t = MemRefType((4, 4), F32, strides=(80, 1), offset=DYNAMIC)
+        assert "strided<[80, 1], offset: ?>" in str(t)
+
+    def test_rank_and_elements(self):
+        t = MemRefType((3, 5, 7), I32)
+        assert t.rank == 3
+        assert t.num_elements() == 105
+
+    def test_row_major_strides(self):
+        t = MemRefType((2, 3, 4), I32)
+        assert t.row_major_strides() == (12, 4, 1)
+
+    def test_layout_strides_defaults_to_row_major(self):
+        t = MemRefType((2, 3), I32)
+        assert t.layout_strides() == (3, 1)
+
+    def test_explicit_strides_preserved(self):
+        t = MemRefType((2, 3), I32, strides=(100, 1))
+        assert t.layout_strides() == (100, 1)
+        assert not t.is_contiguous_row_major()
+
+    def test_contiguity(self):
+        assert MemRefType((4, 8), I32).is_contiguous_row_major()
+        assert MemRefType((4, 8), I32, strides=(8, 1)).is_contiguous_row_major()
+
+    def test_innermost_unit_stride(self):
+        assert MemRefType((4, 4), I32, strides=(80, 1)).innermost_unit_stride()
+        assert not MemRefType((4, 4), I32, strides=(80, 2)).innermost_unit_stride()
+
+    def test_stride_rank_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            MemRefType((4, 4), I32, strides=(1,))
+
+    def test_dynamic_dim_str(self):
+        t = MemRefType((DYNAMIC, 4), I32)
+        assert str(t) == "memref<?x4xi32>"
+        assert not t.has_static_shape
+
+    def test_num_elements_requires_static(self):
+        with pytest.raises(ValueError):
+            MemRefType((DYNAMIC,), I32).num_elements()
+
+
+class TestFunctionType:
+    def test_str_single_result(self):
+        t = FunctionType((I32, F32), (I32,))
+        assert str(t) == "(i32, f32) -> i32"
+
+    def test_str_multi_result(self):
+        t = FunctionType((I32,), (I32, F32))
+        assert str(t) == "(i32) -> (i32, f32)"
+
+    def test_empty(self):
+        assert str(FunctionType()) == "() -> ()"
+
+
+class TestElementTypeParsing:
+    @pytest.mark.parametrize("name,expected", [
+        ("i32", "i32"), ("int32", "i32"), ("i8", "i8"),
+        ("f32", "f32"), ("float32", "f32"), ("float", "f32"),
+        ("f64", "f64"), ("double", "f64"), ("index", "index"),
+        ("INT32", "i32"),
+    ])
+    def test_aliases(self, name, expected):
+        assert str(element_type_from_string(name)) == expected
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            element_type_from_string("quux")

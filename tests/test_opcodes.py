@@ -1,0 +1,187 @@
+"""Tests for the opcode_map / opcode_flow grammars (paper Figs. 7-8)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.opcodes import (
+    FlowGroup,
+    FlowOpcode,
+    Opcode,
+    OpcodeMap,
+    OpcodeSyntaxError,
+    Recv,
+    Send,
+    SendDim,
+    SendIdx,
+    SendLiteral,
+    parse_opcode_flow,
+    parse_opcode_map,
+)
+
+PAPER_MAP = """opcode_map <
+    sA = [send_literal(0x22), send(0)],
+    sB = [send_literal(0x23), send(1)],
+    cC = [send_literal(0xF0)],
+    rC = [send_literal(0x24), recv(2)],
+    sBcCrC = [send_literal(0x25), send(1), recv(2)],
+    reset = [send_literal(0xFF)] >"""
+
+
+class TestOpcodeMapParser:
+    def test_paper_figure_6a(self):
+        parsed = parse_opcode_map(PAPER_MAP)
+        assert parsed.names() == ["sA", "sB", "cC", "rC", "sBcCrC", "reset"]
+        assert parsed["sA"].actions == (SendLiteral(0x22), Send(0))
+        assert parsed["rC"].actions == (SendLiteral(0x24), Recv(2))
+        assert parsed["reset"].actions == (SendLiteral(0xFF),)
+
+    def test_conv_figure_15a(self):
+        parsed = parse_opcode_map(
+            "opcode_map < sIcO = [send_literal(70), send(0)], "
+            "sF = [send_literal(1), send(1)], "
+            "rO = [send_literal(8), recv(2)], "
+            "rst = [send_literal(32), send_dim(1, 3), "
+            "send_literal(16), send_dim(0, 1)] >"
+        )
+        assert parsed["rst"].actions == (
+            SendLiteral(32), SendDim(1, 3), SendLiteral(16), SendDim(0, 1)
+        )
+
+    def test_send_idx(self):
+        parsed = parse_opcode_map("opcode_map < x = [send_idx(m)] >")
+        assert parsed["x"].actions == (SendIdx("m"),)
+
+    def test_decimal_literals(self):
+        parsed = parse_opcode_map("opcode_map < x = [send_literal(70)] >")
+        assert parsed["x"].actions[0].value == 70
+
+    def test_string_keys_allowed(self):
+        parsed = parse_opcode_map('opcode_map < "my op" = [send(0)] >')
+        assert "my op" in parsed
+
+    def test_without_wrapper_keyword(self):
+        parsed = parse_opcode_map("a = [send(0)], b = [recv(1)]")
+        assert parsed.names() == ["a", "b"]
+
+    @pytest.mark.parametrize("bad", [
+        "opcode_map < a = send(0) >",            # missing brackets
+        "opcode_map < a = [send(0)",             # unterminated
+        "opcode_map < a = [jump(0)] >",          # unknown action
+        "opcode_map < a = [send()] >",           # missing argument
+        "opcode_map < a = [send_dim(1)] >",      # send_dim needs 2 args
+        "opcode_map < a = [send(0)] b = [send(1)] >",  # missing comma
+        "opcode_map < a = [] >",                 # empty action list
+    ])
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(OpcodeSyntaxError):
+            parse_opcode_map(bad)
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(OpcodeSyntaxError):
+            parse_opcode_map("opcode_map < a = [send(0)], a = [send(1)] >")
+
+    def test_literal_range_checked(self):
+        with pytest.raises(ValueError):
+            SendLiteral(2 ** 32)
+
+    def test_round_trip_through_str(self):
+        parsed = parse_opcode_map(PAPER_MAP)
+        again = parse_opcode_map(str(parsed))
+        assert again == parsed
+
+
+class TestOpcodeQueries:
+    def test_send_recv_args(self):
+        opcode = Opcode("x", (SendLiteral(1), Send(0), Send(1), Recv(2)))
+        assert opcode.send_args() == (0, 1)
+        assert opcode.recv_args() == (2,)
+        assert opcode.referenced_args() == (0, 1, 2)
+
+    def test_sends_and_recvs_partition(self):
+        opcode = Opcode("x", (SendLiteral(1), Recv(2)))
+        assert len(opcode.sends) == 1
+        assert len(opcode.recvs) == 1
+
+    def test_map_lookup_errors(self):
+        parsed = parse_opcode_map("opcode_map < a = [send(0)] >")
+        with pytest.raises(KeyError):
+            parsed["missing"]
+
+
+class TestOpcodeFlowParser:
+    def test_paper_a_stationary(self):
+        flow = parse_opcode_flow("opcode_flow < (sA (sBcCrC)) >")
+        assert flow.opcode_names() == ["sA", "sBcCrC"]
+        assert flow.depth() == 2
+        root = flow.root
+        assert isinstance(root.items[0], FlowOpcode)
+        assert isinstance(root.items[1], FlowGroup)
+
+    def test_paper_c_stationary(self):
+        flow = parse_opcode_flow("opcode_flow < ((sA sB cC) rC) >")
+        assert flow.opcode_names() == ["sA", "sB", "cC", "rC"]
+        root = flow.root
+        assert isinstance(root.items[0], FlowGroup)
+        assert isinstance(root.items[1], FlowOpcode)
+
+    def test_paper_nothing_stationary(self):
+        flow = parse_opcode_flow("opcode_flow < (sA sB cC rC) >")
+        assert flow.depth() == 1
+
+    def test_conv_flow(self):
+        flow = parse_opcode_flow("(sF (sIcO) rO)")
+        assert flow.opcode_names() == ["sF", "sIcO", "rO"]
+        assert flow.depth() == 2
+
+    def test_bare_ids_without_parens(self):
+        flow = parse_opcode_flow("sA sB")
+        assert flow.opcode_names() == ["sA", "sB"]
+
+    def test_deep_nesting(self):
+        flow = parse_opcode_flow("(a (b (c (d))))")
+        assert flow.depth() == 4
+
+    @pytest.mark.parametrize("bad", ["( a", "a )", "()", "", "(a,b)"])
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(OpcodeSyntaxError):
+            parse_opcode_flow(bad)
+
+    def test_validate_against_map(self):
+        opcode_map = parse_opcode_map("opcode_map < sA = [send(0)] >")
+        parse_opcode_flow("(sA)").validate_against(opcode_map)
+        with pytest.raises(OpcodeSyntaxError):
+            parse_opcode_flow("(sB)").validate_against(opcode_map)
+
+    def test_round_trip_through_str(self):
+        flow = parse_opcode_flow("((sA sB cC) rC)")
+        assert parse_opcode_flow(str(flow)).root == flow.root
+
+
+_names = st.sampled_from(["sA", "sB", "cC", "rC", "go", "x1"])
+
+
+@st.composite
+def flow_trees(draw, depth=0):
+    items = draw(st.lists(
+        _names if depth >= 2 else st.one_of(_names, flow_trees(depth=depth + 1)),
+        min_size=1, max_size=4,
+    ))
+    return "(" + " ".join(items) + ")"
+
+
+@given(flow_trees())
+def test_flow_parser_round_trips_any_tree(text):
+    flow = parse_opcode_flow(text)
+    again = parse_opcode_flow(str(flow))
+    assert again.root == flow.root
+    assert again.depth() == flow.depth()
+
+
+@given(st.lists(st.integers(0, 0xFFFFFFFF), min_size=1, max_size=6))
+def test_opcode_map_literal_round_trip(values):
+    text = "opcode_map < op = [" + ", ".join(
+        f"send_literal({v:#x})" for v in values
+    ) + "] >"
+    parsed = parse_opcode_map(text)
+    assert [a.value for a in parsed["op"].actions] == values
+    assert parse_opcode_map(str(parsed)) == parsed

@@ -1,0 +1,188 @@
+"""Tests for the IR printer, the builder, and remaining dialect corners."""
+
+import pytest
+
+from repro.dialects import accel, arith, func, memref, scf
+from repro.ir import (
+    Builder,
+    I32,
+    INDEX,
+    InsertionPoint,
+    IRError,
+    MemRefType,
+    Module,
+    make_func,
+    print_op,
+    verify,
+)
+from repro.ir.types import F32
+from repro.ir.verifier import VerificationError
+from repro.opcodes import SendIdx, parse_opcode_flow, parse_opcode_map
+
+
+class TestPrinter:
+    def build_module(self):
+        module = Module()
+        f = module.add_function(
+            make_func("kern", [MemRefType((8, 8), F32)])
+        )
+        b = func.builder_at_entry(f)
+        (argument,) = func.arguments(f)
+        zero = arith.index_constant(b, 0)
+        eight = arith.index_constant(b, 8)
+        four = arith.index_constant(b, 4)
+        with scf.build_for(b, zero, eight, four, "m") as iv:
+            sub = memref.subview(b, argument, [iv, zero], [4, 4])
+            value = memref.load(b, sub, [zero, zero])
+            memref.store(b, value, sub, [zero, zero])
+        func.ret(b)
+        return module
+
+    def test_module_prints_function_signature(self):
+        text = str(self.build_module())
+        assert "func.func @kern(%arg0: memref<8x8xf32>)" in text
+
+    def test_loops_render_as_scf_for(self):
+        text = str(self.build_module())
+        assert "scf.for" in text
+        assert "step" in text
+
+    def test_strided_subview_type_printed(self):
+        text = str(self.build_module())
+        assert "strided<[8, 1], offset: ?>" in text
+
+    def test_print_op_single(self):
+        module = self.build_module()
+        f = module.functions()[0]
+        text = print_op(f)
+        assert text.startswith("func.func @kern")
+
+    def test_attributes_printed(self):
+        module = Module()
+        f = module.add_function(make_func("g", []))
+        b = func.builder_at_entry(f)
+        b.create("test.op", attributes={"mode": "accumulate", "n": 3})
+        func.ret(b)
+        text = str(module)
+        assert 'mode = "accumulate"' in text
+        assert "n = 3" in text
+
+
+class TestBuilder:
+    def test_insertion_point_before_and_after(self):
+        f = make_func("h", [])
+        block = f.regions[0].entry_block
+        b = Builder(InsertionPoint.at_end(block))
+        first = b.create("test.a")
+        b.set_insertion_point(InsertionPoint.before(first))
+        b.create("test.b")
+        b.set_insertion_point(InsertionPoint.after(first))
+        b.create("test.c")
+        assert [op.name for op in block] == ["test.b", "test.a", "test.c"]
+
+    def test_push_pop_insertion_point(self):
+        f = make_func("h", [])
+        block = f.regions[0].entry_block
+        b = Builder(InsertionPoint.at_end(block))
+        zero = arith.index_constant(b, 0)
+        one = arith.index_constant(b, 1)
+        loop = scf.for_op(b, zero, one, one)
+        b.push_insertion_point(InsertionPoint.at_end(scf.body_block(loop)))
+        b.create("test.inner")
+        b.pop_insertion_point()
+        b.create("test.outer")
+        assert block.operations[-1].name == "test.outer"
+        assert scf.body_block(loop).operations[0].name == "test.inner"
+
+    def test_pop_empty_stack_rejected(self):
+        with pytest.raises(IRError):
+            Builder().pop_insertion_point()
+
+    def test_constant_cache_per_block(self):
+        f = make_func("h", [])
+        block = f.regions[0].entry_block
+        b = Builder(InsertionPoint.at_end(block))
+        first = arith.index_constant(b, 5)
+        second = arith.index_constant(b, 5)
+        assert first is second
+        other_type = arith.constant(b, 5, I32)
+        assert other_type is not first
+
+    def test_builder_without_ip_rejected(self):
+        with pytest.raises(IRError):
+            Builder().create("test.op")
+
+
+class TestDialectVerifiers:
+    def test_arith_type_mismatch(self):
+        f = make_func("h", [])
+        b = Builder(InsertionPoint.at_end(f.regions[0].entry_block))
+        index_value = arith.index_constant(b, 1)
+        int_value = arith.constant(b, 1, I32)
+        with pytest.raises(VerificationError):
+            arith.addi(b, index_value, int_value)
+
+    def test_float_op_rejects_ints(self):
+        f = make_func("h", [])
+        b = Builder(InsertionPoint.at_end(f.regions[0].entry_block))
+        value = arith.constant(b, 1, I32)
+        op = b.create("arith.addf", operands=[value, value],
+                      result_types=[I32])
+        with pytest.raises(VerificationError):
+            verify(op)
+
+    def test_subview_rank_mismatch(self):
+        f = make_func("h", [MemRefType((4, 4), I32)])
+        b = Builder(InsertionPoint.at_end(f.regions[0].entry_block))
+        (argument,) = f.regions[0].entry_block.arguments
+        zero = arith.index_constant(b, 0)
+        with pytest.raises(VerificationError):
+            memref.subview(b, argument, [zero], [4])
+
+    def test_recv_mode_validated(self):
+        f = make_func("h", [MemRefType((4, 4), I32)])
+        b = Builder(InsertionPoint.at_end(f.regions[0].entry_block))
+        (argument,) = f.regions[0].entry_block.arguments
+        zero = arith.constant(b, 0, I32)
+        with pytest.raises(VerificationError):
+            accel.recv(b, argument, zero, mode="teleport")
+
+    def test_scf_bounds_must_be_index(self):
+        f = make_func("h", [])
+        b = Builder(InsertionPoint.at_end(f.regions[0].entry_block))
+        bad = arith.constant(b, 0, I32)
+        loop = b.create("scf.for", operands=[bad, bad, bad], regions=1)
+        loop.regions[0].add_block([INDEX])
+        with pytest.raises(VerificationError):
+            verify(loop)
+
+
+class TestSendIdxLowering:
+    """send_idx actions lower to accel.send_idx on the loop iv."""
+
+    def test_flow_with_send_idx(self):
+        from repro.accel_config import parse_accelerator
+        from repro.accelerators import matmul_config_dict
+        from repro.compiler import AXI4MLIRCompiler, build_matmul_module
+        from repro.transforms import build_axi4mlir_pipeline
+
+        config = matmul_config_dict(3, 4, "Ns")
+        config["opcode_map"] = (
+            "opcode_map < sAll = [send_literal(0x21), send_idx(m), "
+            "send_idx(n), send_idx(k), send(0), send(1), recv(2)], "
+            "reset = [send_literal(0xFF)] >"
+        )
+        config["opcode_flow_map"] = {"Ns": "(sAll)"}
+        config["selected_flow"] = "Ns"
+        info = parse_accelerator(config)
+        module = build_matmul_module(8, 8, 8, info.data_type)
+        pm = build_axi4mlir_pipeline(info, enable_cpu_tiling=False)
+        pm.run(module)
+        ops = [op.name for op in module.walk()]
+        assert ops.count("accel.send_idx") == 3
+        # The idx operands are the loop induction variables.
+        send_idx_ops = [op for op in module.walk()
+                        if op.name == "accel.send_idx"]
+        from repro.ir.core import BlockArgument
+        assert all(isinstance(op.operands[0], BlockArgument)
+                   for op in send_idx_ops)

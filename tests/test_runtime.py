@@ -1,0 +1,312 @@
+"""Tests for MemRef descriptors, copy kernels, and the DMA runtime."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.accelerators import MatMulAccelerator
+from repro.runtime import (
+    AxiRuntime,
+    CALL_STYLE_GENERATED,
+    CALL_STYLE_MANUAL,
+    CopyKinds,
+    MemRefDescriptor,
+)
+from repro.runtime.copy import stage_memref_to_region, words_view
+from repro.soc import make_pynq_z2
+
+
+class TestMemRefDescriptor:
+    def test_from_numpy_shape(self, rng):
+        array = rng.integers(0, 9, (3, 5)).astype(np.int32)
+        desc = MemRefDescriptor.from_numpy(array, base_address=0x1000)
+        assert desc.sizes == (3, 5)
+        assert desc.strides == (5, 1)
+        assert np.array_equal(desc.view(), array)
+
+    def test_load_store(self, rng):
+        array = np.zeros((4, 4), np.int32)
+        desc = MemRefDescriptor.from_numpy(array)
+        desc.store(7, (2, 3))
+        assert desc.load((2, 3)) == 7
+        assert array[2, 3] == 7
+
+    def test_out_of_bounds_rejected(self):
+        desc = MemRefDescriptor.from_numpy(np.zeros((2, 2), np.int32))
+        with pytest.raises(IndexError):
+            desc.load((2, 0))
+        with pytest.raises(IndexError):
+            desc.load((0, 0, 0))
+
+    def test_subview_shares_storage(self, rng):
+        array = rng.integers(0, 9, (8, 8)).astype(np.int32)
+        desc = MemRefDescriptor.from_numpy(array)
+        sub = desc.subview((2, 4), (3, 2))
+        assert np.array_equal(sub.view(), array[2:5, 4:6])
+        sub.store(-1, (0, 0))
+        assert array[2, 4] == -1
+
+    def test_nested_subview(self, rng):
+        array = rng.integers(0, 9, (16, 16)).astype(np.int32)
+        desc = MemRefDescriptor.from_numpy(array)
+        outer = desc.subview((4, 4), (8, 8))
+        inner = outer.subview((2, 2), (3, 3))
+        assert np.array_equal(inner.view(), array[6:9, 6:9])
+
+    def test_subview_bounds_checked(self):
+        desc = MemRefDescriptor.from_numpy(np.zeros((4, 4), np.int32))
+        with pytest.raises(IndexError):
+            desc.subview((2, 2), (4, 4))
+
+    def test_element_address_row_major(self):
+        desc = MemRefDescriptor.from_numpy(
+            np.zeros((4, 8), np.int32), base_address=0x1000
+        )
+        assert desc.element_address((0, 0)) == 0x1000
+        assert desc.element_address((1, 0)) == 0x1000 + 8 * 4
+        assert desc.element_address((1, 3)) == 0x1000 + 11 * 4
+
+    def test_subview_addresses_offset(self):
+        desc = MemRefDescriptor.from_numpy(
+            np.zeros((8, 8), np.int32), base_address=0
+        )
+        sub = desc.subview((2, 4), (2, 2))
+        assert sub.element_address((0, 0)) == (2 * 8 + 4) * 4
+
+    def test_contiguity(self):
+        desc = MemRefDescriptor.from_numpy(np.zeros((4, 4), np.int32))
+        assert desc.is_contiguous()
+        sub = desc.subview((0, 0), (2, 2))
+        assert not sub.is_contiguous()
+        assert sub.innermost_unit_stride()
+
+    def test_num_bytes(self):
+        desc = MemRefDescriptor.from_numpy(np.zeros((3, 3), np.int32))
+        assert desc.num_bytes() == 36
+
+    @settings(max_examples=40)
+    @given(
+        rows=st.integers(1, 10), cols=st.integers(1, 10),
+        off_r=st.integers(0, 5), off_c=st.integers(0, 5),
+        size_r=st.integers(1, 5), size_c=st.integers(1, 5),
+    )
+    def test_subview_view_matches_numpy_slice(self, rows, cols, off_r,
+                                              off_c, size_r, size_c):
+        if off_r + size_r > rows or off_c + size_c > cols:
+            return
+        array = np.arange(rows * cols, dtype=np.int32).reshape(rows, cols)
+        desc = MemRefDescriptor.from_numpy(array)
+        sub = desc.subview((off_r, off_c), (size_r, size_c))
+        assert np.array_equal(
+            sub.view(), array[off_r:off_r + size_r, off_c:off_c + size_c]
+        )
+
+    @settings(max_examples=40)
+    @given(
+        shape=st.tuples(st.integers(1, 4), st.integers(1, 4),
+                        st.integers(1, 4)),
+        index=st.tuples(st.integers(0, 3), st.integers(0, 3),
+                        st.integers(0, 3)),
+    )
+    def test_linear_index_matches_numpy(self, shape, index):
+        if any(i >= s for i, s in zip(index, shape)):
+            return
+        array = np.arange(np.prod(shape), dtype=np.int32).reshape(shape)
+        desc = MemRefDescriptor.from_numpy(array)
+        assert desc.load(index) == array[index]
+
+
+class TestCopyKernels:
+    def make_board_region(self):
+        board = make_pynq_z2()
+        region = board.memory.allocate(4096, "region")
+        words = np.zeros(1024, dtype=np.uint32)
+        return board, region, words
+
+    @pytest.mark.parametrize("style", CopyKinds.ALL)
+    def test_styles_functionally_identical(self, style, rng):
+        board, region, words = self.make_board_region()
+        array = rng.integers(-9, 9, (16, 16)).astype(np.int32)
+        desc = MemRefDescriptor.from_numpy(
+            array, board.memory.allocate(array.nbytes, "src").base
+        )
+        sub = desc.subview((4, 8), (4, 4))
+        end = stage_memref_to_region(board, sub, words, region.base, 0, style)
+        assert end == 64
+        assert np.array_equal(
+            words[:16].view(np.int32).reshape(4, 4), array[4:8, 8:12]
+        )
+
+    def test_generic_costs_exceed_specialized(self, rng):
+        results = {}
+        for style in (CopyKinds.GENERIC, CopyKinds.SPECIALIZED):
+            board, region, words = self.make_board_region()
+            array = rng.integers(-9, 9, (32, 32)).astype(np.int32)
+            desc = MemRefDescriptor.from_numpy(
+                array, board.memory.allocate(array.nbytes, "src").base
+            )
+            sub = desc.subview((0, 0), (16, 16))
+            stage_memref_to_region(board, sub, words, region.base, 0, style)
+            results[style] = board.counters
+        generic = results[CopyKinds.GENERIC]
+        fast = results[CopyKinds.SPECIALIZED]
+        assert generic.cache_references > fast.cache_references
+        assert generic.branch_instructions > fast.branch_instructions
+        assert generic.cpu_cycles > fast.cpu_cycles
+
+    def test_manual_costs_between_styles(self, rng):
+        results = {}
+        for style in CopyKinds.ALL:
+            board, region, words = self.make_board_region()
+            array = rng.integers(-9, 9, (32, 32)).astype(np.int32)
+            desc = MemRefDescriptor.from_numpy(
+                array, board.memory.allocate(array.nbytes, "src").base
+            )
+            sub = desc.subview((0, 0), (16, 16))
+            stage_memref_to_region(board, sub, words, region.base, 0, style)
+            results[style] = board.counters.cpu_cycles
+        assert results[CopyKinds.SPECIALIZED] < results[CopyKinds.MANUAL]
+        assert results[CopyKinds.MANUAL] < results[CopyKinds.GENERIC]
+
+    def test_specialized_fast_path_needs_unit_stride(self, rng):
+        # A column slice has non-unit innermost stride: the specialized
+        # style must fall back to element-wise costs (same as generic).
+        array = rng.integers(-9, 9, (16, 16)).astype(np.int32)
+
+        def run(style):
+            board, region, words = self.make_board_region()
+            desc = MemRefDescriptor.from_numpy(
+                array, board.memory.allocate(array.nbytes, "src").base
+            )
+            column = MemRefDescriptor(
+                desc.allocated, 0, (16, 1, 16), (1, 1, 16),
+                desc.base_address,
+            )
+            stage_memref_to_region(board, column, words, region.base, 0,
+                                   style)
+            return board.counters.cache_references
+
+        assert run(CopyKinds.SPECIALIZED) == run(CopyKinds.GENERIC)
+
+    def test_overflow_detected(self, rng):
+        board, region, words = self.make_board_region()
+        array = rng.integers(-9, 9, (64, 64)).astype(np.int32)
+        desc = MemRefDescriptor.from_numpy(
+            array, board.memory.allocate(array.nbytes, "src").base
+        )
+        with pytest.raises(ValueError):
+            stage_memref_to_region(board, desc, words, region.base, 0,
+                                   CopyKinds.SPECIALIZED)
+
+    def test_words_view_row_major(self, rng):
+        array = rng.integers(-9, 9, (3, 4)).astype(np.int32)
+        desc = MemRefDescriptor.from_numpy(array)
+        assert np.array_equal(
+            words_view(desc).view(np.int32), array.reshape(-1)
+        )
+
+
+class TestAxiRuntime:
+    def make(self, **kwargs):
+        board = make_pynq_z2()
+        board.attach_accelerator(MatMulAccelerator(4, version=3))
+        rt = AxiRuntime(board, **kwargs)
+        rt.dma_init(0, 0, 0x10000, 0, 0x10000)
+        return board, rt
+
+    def test_transfers_require_init(self):
+        board = make_pynq_z2()
+        rt = AxiRuntime(board)
+        with pytest.raises(RuntimeError):
+            rt.send_literal(0xFF, 0)
+
+    def test_offset_chaining(self):
+        _, rt = self.make()
+        offset = rt.send_literal(0x22, 0)
+        assert offset == 4
+        offset = rt.send_idx(17, offset)
+        assert offset == 8
+
+    def test_flush_resets_offset_and_counts_dma(self, rng):
+        board, rt = self.make()
+        offset = rt.send_literal(0xFF, 0)
+        assert rt.flush_send(offset) == 0
+        assert board.counters.dma_transactions == 1
+        assert board.counters.dma_bytes_to_accel == 4
+
+    def test_flush_empty_is_noop(self):
+        board, rt = self.make()
+        assert rt.flush_send(0) == 0
+        assert board.counters.dma_transactions == 0
+
+    def test_full_offload_round_trip(self, rng):
+        board, rt = self.make()
+        a = rng.integers(-5, 5, (4, 4)).astype(np.int32)
+        b = rng.integers(-5, 5, (4, 4)).astype(np.int32)
+        c = np.ones((4, 4), np.int32)
+        da, db, dc = (rt.make_memref(x, n) for x, n in
+                      ((a, "A"), (b, "B"), (c, "C")))
+        offset = rt.send_literal(0x22, 0)
+        offset = rt.send_memref(da, offset)
+        offset = rt.send_literal(0x23, offset)
+        offset = rt.send_memref(db, offset)
+        offset = rt.send_literal(0xF0, offset)
+        offset = rt.send_literal(0x24, offset)
+        rt.flush_send(offset)
+        rt.recv_memref(dc, 0, accumulate=True)
+        assert np.array_equal(c, a @ b + 1)
+
+    def test_recv_store_mode_overwrites(self, rng):
+        board, rt = self.make()
+        a = rng.integers(-5, 5, (4, 4)).astype(np.int32)
+        b = rng.integers(-5, 5, (4, 4)).astype(np.int32)
+        c = np.ones((4, 4), np.int32)
+        da, db, dc = (rt.make_memref(x, n) for x, n in
+                      ((a, "A"), (b, "B"), (c, "C")))
+        offset = rt.send_literal(0x22, 0)
+        offset = rt.send_memref(da, offset)
+        offset = rt.send_literal(0x23, offset)
+        offset = rt.send_memref(db, offset)
+        offset = rt.send_literal(0xF0, offset)
+        offset = rt.send_literal(0x24, offset)
+        rt.flush_send(offset)
+        rt.recv_memref(dc, 0, accumulate=False)
+        assert np.array_equal(c, a @ b)
+
+    def test_send_dim_stages_extent(self):
+        board, rt = self.make()
+        desc = rt.make_memref(np.zeros((3, 7), np.int32), "X")
+        rt.send_dim(desc, 1, 0)
+        assert rt.dma.input_words[0] == 7
+
+    def test_manual_call_style_costs_more(self):
+        costs = {}
+        for style in (CALL_STYLE_GENERATED, CALL_STYLE_MANUAL):
+            board, rt = self.make(call_style=style)
+            snapshot = board.snapshot()
+            rt.send_literal(0xFF, 0)
+            costs[style] = board.measure_since(snapshot).cpu_cycles
+        assert costs[CALL_STYLE_MANUAL] > costs[CALL_STYLE_GENERATED]
+
+    def test_manual_default_copy_style(self):
+        board = make_pynq_z2()
+        rt = AxiRuntime(board, call_style=CALL_STYLE_MANUAL)
+        assert rt.copy_style == CopyKinds.MANUAL
+
+    def test_unspecialized_flag(self):
+        board = make_pynq_z2()
+        rt = AxiRuntime(board, specialized_copies=False)
+        assert rt.copy_style == CopyKinds.GENERIC
+
+    def test_stall_waits_for_accelerator(self, rng):
+        board, rt = self.make()
+        # Large compute scheduled: recv must block until it finishes.
+        board.schedule_accel_cycles(1e6)
+        c = np.zeros((4, 4), np.int32)
+        dc = rt.make_memref(c, "C")
+        offset = rt.send_literal(0xF0, 0)
+        offset = rt.send_literal(0x24, offset)
+        rt.flush_send(offset)
+        rt.recv_memref(dc, 0)
+        assert board.counters.stall_cycles > 0
+        assert board.clock >= 1e6 / board.timing.accel_freq_hz

@@ -1,0 +1,223 @@
+"""Tests for memory, AXI streams, DMA engine, perf counters, board."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.accelerators import MatMulAccelerator
+from repro.soc import AxiStreamFifo, Board, DmaEngine, MainMemory, make_pynq_z2
+from repro.soc.axi import StreamUnderflow
+from repro.soc.perf import PerfCounters
+from repro.soc.timing import TimingModel, matmul_ops_per_cycle
+
+
+class TestMainMemory:
+    def test_regions_disjoint(self):
+        memory = MainMemory()
+        a = memory.allocate(1000, "a")
+        b = memory.allocate(1000, "b")
+        assert a.end <= b.base
+
+    def test_alignment(self):
+        memory = MainMemory(alignment=64)
+        region = memory.allocate(10, "x")
+        assert region.base % 64 == 0
+
+    def test_find_region(self):
+        memory = MainMemory()
+        region = memory.allocate(128, "buf")
+        assert memory.find_region(region.base + 5) is region
+        with pytest.raises(KeyError):
+            memory.find_region(0)
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ValueError):
+            MainMemory().allocate(0)
+
+    def test_duplicate_names_disambiguated(self):
+        memory = MainMemory()
+        memory.allocate(64, "buf")
+        memory.allocate(64, "buf")
+        assert memory.region_named("buf#2").size == 64
+
+
+class TestAxiStreamFifo:
+    def test_push_pop_order(self):
+        fifo = AxiStreamFifo()
+        fifo.push(np.array([1, 2, 3], dtype=np.int32))
+        fifo.push(np.array([4, 5], dtype=np.int32))
+        assert list(fifo.pop(4)) == [1, 2, 3, 4]
+        assert list(fifo.pop(1)) == [5]
+
+    def test_underflow_raises(self):
+        fifo = AxiStreamFifo()
+        fifo.push(np.array([1], dtype=np.int32))
+        with pytest.raises(StreamUnderflow):
+            fifo.pop(2)
+
+    def test_non_word_dtype_rejected(self):
+        with pytest.raises(ValueError):
+            AxiStreamFifo().push(np.array([1], dtype=np.int64))
+
+    def test_float_words_supported(self):
+        fifo = AxiStreamFifo()
+        fifo.push(np.array([1.5, -2.0], dtype=np.float32))
+        out = fifo.pop(2, dtype=np.float32)
+        assert list(out) == [1.5, -2.0]
+
+    def test_statistics(self):
+        fifo = AxiStreamFifo()
+        fifo.push(np.zeros(4, dtype=np.int32))
+        fifo.push(np.zeros(2, dtype=np.int32))
+        assert fifo.total_words_pushed == 6
+        assert fifo.total_transactions == 2
+
+    def test_peek(self):
+        fifo = AxiStreamFifo()
+        fifo.push(np.array([42, 1], dtype=np.int32))
+        assert fifo.peek_word() == 42
+        assert len(fifo) == 2
+
+    @given(st.lists(st.lists(st.integers(-1000, 1000), min_size=1,
+                             max_size=20), min_size=1, max_size=10),
+           st.data())
+    def test_chunked_pops_preserve_stream(self, bursts, data):
+        fifo = AxiStreamFifo()
+        expected = []
+        for burst in bursts:
+            fifo.push(np.array(burst, dtype=np.int32))
+            expected.extend(burst)
+        received = []
+        remaining = len(expected)
+        while remaining:
+            take = data.draw(st.integers(1, remaining))
+            received.extend(fifo.pop(take))
+            remaining -= take
+        assert received == expected
+
+
+class TestDmaEngine:
+    def make(self):
+        board = make_pynq_z2()
+        dma = DmaEngine(0, 4096, 4096, board.memory, board.timing)
+        accel = MatMulAccelerator(4, version=3)
+        dma.attach(accel)
+        return board, dma, accel
+
+    def test_send_pushes_to_fifo(self):
+        _, dma, accel = self.make()
+        dma.input_words[0] = 0xFF  # reset opcode
+        seconds = dma.start_send(4, 0)
+        assert seconds > 0
+        assert len(accel.in_fifo) == 1
+
+    def test_alignment_enforced(self):
+        _, dma, _ = self.make()
+        with pytest.raises(ValueError):
+            dma.start_send(3, 0)
+        with pytest.raises(ValueError):
+            dma.start_send(4, 2)
+
+    def test_region_bounds_enforced(self):
+        _, dma, _ = self.make()
+        with pytest.raises(ValueError):
+            dma.start_send(8192, 0)
+
+    def test_recv_round_trip(self):
+        _, dma, accel = self.make()
+        accel.out_fifo.push(np.array([7, 8], dtype=np.int32))
+        dma.start_recv(8, 0)
+        assert list(dma.output_words[:2]) == [7, 8]
+
+    def test_transfer_time_scales_with_bytes(self):
+        _, dma, accel = self.make()
+        accel.out_fifo.push(np.zeros(512, dtype=np.int32))
+        t_small = dma.start_recv(4, 0)
+        t_large = dma.start_recv(2044, 4)
+        assert t_large > t_small
+
+
+class TestPerfCounters:
+    def test_task_clock_from_elapsed(self):
+        counters = PerfCounters(elapsed_seconds=0.25)
+        assert counters.task_clock_ms() == 250.0
+
+    def test_add_and_delta(self):
+        a = PerfCounters(cpu_cycles=100, branch_instructions=5)
+        b = PerfCounters(cpu_cycles=30, branch_instructions=2)
+        a.add(b)
+        assert a.cpu_cycles == 130
+        delta = a.delta_since(b)
+        assert delta.cpu_cycles == 100
+
+    def test_normalized(self):
+        run = PerfCounters(branch_instructions=50, cache_references=20,
+                           elapsed_seconds=1.0)
+        base = PerfCounters(branch_instructions=100, cache_references=80,
+                            elapsed_seconds=4.0)
+        norm = run.normalized_to(base)
+        assert norm["branch-instructions"] == 0.5
+        assert norm["cache-references"] == 0.25
+        assert norm["task-clock"] == 0.25
+
+    def test_normalized_zero_baseline(self):
+        assert PerfCounters().normalized_to(PerfCounters()) == {
+            "branch-instructions": 0.0, "cache-references": 0.0,
+            "task-clock": 0.0,
+        }
+
+
+class TestBoard:
+    def test_host_work_advances_clock(self):
+        board = Board()
+        board.host_work(650, branches=3)
+        assert board.clock == pytest.approx(1e-6)
+        assert board.counters.branch_instructions == 3
+
+    def test_stall_charges_polling_branches(self):
+        board = Board()
+        board.stall_until(1e-3)
+        timing = board.timing
+        expected_polls = 1e-3 * timing.cpu_freq_hz / timing.poll_period_cycles
+        assert board.counters.branch_instructions == pytest.approx(
+            expected_polls * timing.poll_branches
+        )
+        assert board.counters.stall_cycles > 0
+
+    def test_stall_in_past_is_noop(self):
+        board = Board()
+        board.host_work(6500)
+        clock = board.clock
+        board.stall_until(clock / 2)
+        assert board.clock == clock
+
+    def test_accelerator_scheduling(self):
+        board = Board()
+        board.schedule_accel_cycles(200e6)  # one second of accel work
+        board.wait_for_accelerator()
+        assert board.clock == pytest.approx(1.0)
+
+    def test_measure_since(self):
+        board = Board()
+        board.host_work(100)
+        snap = board.snapshot()
+        board.host_work(250)
+        delta = board.measure_since(snap)
+        assert delta.cpu_cycles == 250
+
+
+class TestTimingModel:
+    def test_table1_throughputs(self):
+        assert matmul_ops_per_cycle(4) == 10
+        assert matmul_ops_per_cycle(8) == 60
+        assert matmul_ops_per_cycle(16) == 112
+
+    def test_interpolation_monotonic(self):
+        values = [matmul_ops_per_cycle(s) for s in (4, 6, 8, 12, 16, 32)]
+        assert values == sorted(values)
+
+    def test_axi_transfer_time(self):
+        timing = TimingModel()
+        one_kib = timing.axi_transfer_seconds(1024)
+        expected = 1024 / timing.axi_bytes_per_cycle / timing.accel_freq_hz
+        assert one_kib == pytest.approx(expected)

@@ -1,10 +1,23 @@
-"""Benchmark support: result-table writer shared by all figures."""
+"""Benchmark support: result-table writer and perf-trajectory tracking.
 
+Besides the per-figure result tables, a session that collects any
+benchmark test writes ``BENCH_perf.json`` at the repo root: wall-clock
+seconds per figure harness plus the benchmark/session totals, so the
+perf trajectory of the cost engine is tracked across PRs.
+"""
+
+import json
 from pathlib import Path
 
 import pytest
 
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
+BENCH_PERF_PATH = Path(__file__).resolve().parent.parent / "BENCH_perf.json"
+
+_BENCH_DIR = Path(__file__).resolve().parent
+_durations = {}
+_expected = set()
+_collected_files = set()
 
 
 @pytest.fixture
@@ -17,3 +30,44 @@ def write_table():
         print(f"\n{name}:\n{text}")
 
     return write
+
+
+def pytest_collection_modifyitems(session, config, items):
+    for item in items:
+        # Resolve before comparing: item paths arrive as invoked (which
+        # may go through symlinks) while _BENCH_DIR is resolved.
+        path = Path(str(item.fspath)).resolve()
+        if _BENCH_DIR in path.parents:
+            _expected.add(item.nodeid)
+            _collected_files.add(path)
+
+
+def pytest_runtest_logreport(report):
+    if report.when == "call" and report.nodeid in _expected:
+        name = report.nodeid.rsplit("::", 1)[-1]
+        _durations[name] = _durations.get(name, 0.0) + report.duration
+
+
+def pytest_sessionfinish(session, exitstatus):
+    # Only record full benchmark sessions — a partial run (one figure
+    # file, a -k filter) must not clobber the cross-PR perf trajectory.
+    # Completeness is judged against the files on disk, not merely the
+    # session's collection (a path-scoped run collects a subset).
+    if not _durations:
+        return
+    if _collected_files < set(_BENCH_DIR.glob("test_*.py")):
+        return
+    if len(_durations) < len(
+        {nodeid.rsplit("::", 1)[-1] for nodeid in _expected}
+    ):
+        return
+    payload = {
+        "per_harness_s": {
+            name: round(seconds, 3)
+            for name, seconds in sorted(_durations.items())
+        },
+        "benchmarks_total_s": round(sum(_durations.values()), 3),
+        "collected": session.testscollected,
+        "exit_status": int(exitstatus),
+    }
+    BENCH_PERF_PATH.write_text(json.dumps(payload, indent=2) + "\n")

@@ -7,6 +7,6 @@ COLUMNS = ("type", "possible_reuse", "opcodes", "size", "ops_per_cycle",
 
 
 def test_table1_catalog(benchmark, write_table):
-    rows = benchmark(table1_rows)
+    rows = benchmark.pedantic(table1_rows, rounds=1, iterations=1)
     write_table("table1_catalog", format_table(rows, COLUMNS))
     assert len(rows) == 12  # 4 versions x 3 sizes

@@ -25,8 +25,10 @@ from .accel_config import (
 from .compiler import (
     AXI4MLIRCompiler,
     CompiledKernel,
+    KernelCache,
     build_conv_module,
     build_matmul_module,
+    default_kernel_cache,
 )
 from .runtime import AxiRuntime, MemRefDescriptor
 from .soc import Board, PerfCounters, TimingModel, make_pynq_z2
@@ -37,8 +39,8 @@ __version__ = "1.0.0"
 __all__ = [
     "AcceleratorInfo", "ConfigError", "CPUInfo", "DMAConfig",
     "SystemConfig", "load_config", "parse_config",
-    "AXI4MLIRCompiler", "CompiledKernel",
-    "build_conv_module", "build_matmul_module",
+    "AXI4MLIRCompiler", "CompiledKernel", "KernelCache",
+    "build_conv_module", "build_matmul_module", "default_kernel_cache",
     "AxiRuntime", "MemRefDescriptor",
     "Board", "PerfCounters", "TimingModel", "make_pynq_z2",
     "CompileError",

@@ -31,16 +31,28 @@ class StreamAccelerator:
         self.in_fifo = AxiStreamFifo(f"{name}.in")
         self.out_fifo = AxiStreamFifo(f"{name}.out")
         self._handlers: Dict[int, Callable[[], float]] = {}
+        self._needs: Dict[int, int] = {}
         self.total_cycles = 0.0
         self.instructions_executed = 0
 
     def register_opcode(self, literal: int,
-                        handler: Callable[[], float]) -> None:
+                        handler: Callable[[], float],
+                        needs: int = None) -> None:
+        """Bind ``handler`` to an opcode literal.
+
+        ``needs`` optionally reports how many data words the handler
+        will consume (subclasses with configurable tile sizes refresh
+        ``self._needs`` when reconfigured); when present, partial
+        instructions are detected up front and the checkpoint/rollback
+        machinery is skipped.
+        """
         if literal in self._handlers:
             raise ValueError(
                 f"{self.name}: opcode {literal:#x} registered twice"
             )
         self._handlers[literal] = handler
+        if needs is not None:
+            self._needs[literal] = needs
 
     @property
     def supported_literals(self) -> tuple:
@@ -56,22 +68,44 @@ class StreamAccelerator:
         the next burst delivers the rest).
         """
         cycles = 0.0
-        while len(self.in_fifo):
-            snapshot = self.in_fifo.checkpoint()
-            literal = int(self.in_fifo.pop(1)[0]) & 0xFFFFFFFF
-            handler = self._handlers.get(literal)
+        fifo = self.in_fifo
+        handlers = self._handlers
+        needs_map = self._needs
+        while len(fifo):
+            literal = fifo.peek_word() & 0xFFFFFFFF
+            handler = handlers.get(literal)
             if handler is None:
                 raise UnknownOpcodeError(
                     f"{self.name}: word {literal:#x} is not an opcode "
                     f"(supported: "
                     f"{[hex(x) for x in self.supported_literals]})"
                 )
-            try:
-                cycles += handler()
-            except StreamUnderflow:
-                # Partial instruction: wait for the rest of the burst.
-                self.in_fifo.restore(snapshot)
-                break
+            needs = needs_map.get(literal)
+            if needs is not None:
+                if len(fifo) - 1 < needs:
+                    # Partial instruction: wait for the rest of the burst.
+                    break
+                fifo.pop_word()
+                try:
+                    cycles += handler()
+                except StreamUnderflow as exc:
+                    # needs promised the words were there: the declared
+                    # count and the handler's consumption diverged.
+                    # Fail loudly — the opcode word is already gone, so
+                    # a graceful wait would corrupt the stream.
+                    raise RuntimeError(
+                        f"{self.name}: opcode {literal:#x} declared "
+                        f"{needs} data words but consumed more"
+                    ) from exc
+            else:
+                snapshot = fifo.checkpoint()
+                fifo.pop_word()
+                try:
+                    cycles += handler()
+                except StreamUnderflow:
+                    # Partial instruction: wait for the rest of the burst.
+                    fifo.restore(snapshot)
+                    break
             self.instructions_executed += 1
         self.total_cycles += cycles
         return cycles

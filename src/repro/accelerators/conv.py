@@ -16,6 +16,7 @@ from typing import List
 
 import numpy as np
 
+from ..numerics import float64_exact_bound
 from .base import StreamAccelerator
 
 CONV_LITERALS = {
@@ -44,11 +45,21 @@ class ConvAccelerator(StreamAccelerator):
         self.fhw = 1
         self._filter = np.zeros(1, self.dtype)
         self._slice: List[np.ndarray] = []
-        self.register_opcode(CONV_LITERALS["cfg_fsize"], self._cfg_fsize)
-        self.register_opcode(CONV_LITERALS["cfg_ic"], self._cfg_ic)
+        self.register_opcode(CONV_LITERALS["cfg_fsize"], self._cfg_fsize,
+                             needs=1)
+        self.register_opcode(CONV_LITERALS["cfg_ic"], self._cfg_ic,
+                             needs=1)
         self.register_opcode(CONV_LITERALS["sF"], self._send_filter)
-        self.register_opcode(CONV_LITERALS["sIcO"], self._send_input_compute)
-        self.register_opcode(CONV_LITERALS["rO"], self._recv_output)
+        self.register_opcode(CONV_LITERALS["sIcO"],
+                             self._send_input_compute)
+        self.register_opcode(CONV_LITERALS["rO"], self._recv_output,
+                             needs=0)
+        self._refresh_needs()
+
+    def _refresh_needs(self) -> None:
+        """Window-sized opcodes track the configured geometry."""
+        self._needs[CONV_LITERALS["sF"]] = self.window_elements
+        self._needs[CONV_LITERALS["sIcO"]] = self.window_elements
 
     @property
     def window_elements(self) -> int:
@@ -60,6 +71,7 @@ class ConvAccelerator(StreamAccelerator):
         if not 1 <= value <= self.max_fhw:
             raise ValueError(f"{self.name}: filter size {value} out of range")
         self.fhw = value
+        self._refresh_needs()
         return 0.0
 
     def _cfg_ic(self) -> float:
@@ -67,6 +79,7 @@ class ConvAccelerator(StreamAccelerator):
         if not 1 <= value <= self.max_ic:
             raise ValueError(f"{self.name}: iC {value} out of range")
         self.ic = value
+        self._refresh_needs()
         return 0.0
 
     def _send_filter(self) -> float:
@@ -90,9 +103,15 @@ class ConvAccelerator(StreamAccelerator):
         """Vectorized fast path used by the board for whole-row streaming.
 
         Functionally identical to repeated ``sIcO`` instructions; exists
-        so large ResNet layers simulate in reasonable time.
+        so large ResNet layers simulate in reasonable time.  Small-value
+        batches (the common int8-ish quantized data) go through float64
+        BLAS — exact while every partial sum fits the f64 mantissa.
         """
-        values = windows.astype(np.int64) @ self._filter.astype(np.int64)
+        if float64_exact_bound(self.window_elements, windows, self._filter):
+            values = (windows.astype(np.float64)
+                      @ self._filter.astype(np.float64)).astype(np.int64)
+        else:
+            values = windows.astype(np.int64) @ self._filter.astype(np.int64)
         self._slice.extend(np.asarray(values, dtype=self.dtype))
         return 2.0 * self.window_elements * len(windows) / CONV_OPS_PER_CYCLE
 

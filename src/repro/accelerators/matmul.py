@@ -26,6 +26,7 @@ from typing import Dict, Tuple
 
 import numpy as np
 
+from ..numerics import float64_exact_bound
 from ..soc.timing import matmul_ops_per_cycle
 from .base import StreamAccelerator
 
@@ -107,11 +108,33 @@ class MatMulAccelerator(StreamAccelerator):
         }
         for opcode_name in VERSION_OPCODES[version]:
             sequence = _MICRO_OPS[opcode_name]
-
-            def handler(seq=sequence) -> float:
-                return sum(primitives[p]() for p in seq)
+            if len(sequence) == 1:
+                # Single-primitive opcodes dispatch straight to the
+                # primitive (the hot case: sA/sB/cC/rC).
+                handler = primitives[sequence[0]]
+            else:
+                def handler(seq=tuple(primitives[p] for p in sequence)
+                            ) -> float:
+                    total = 0.0
+                    for primitive in seq:
+                        total += primitive()
+                    return total
 
             self.register_opcode(MATMUL_LITERALS[opcode_name], handler)
+        self._refresh_needs()
+
+    def _refresh_needs(self) -> None:
+        """Recompute per-opcode data-word counts (tile-size dependent)."""
+        for opcode_name in VERSION_OPCODES[self.version]:
+            total = 0
+            for primitive in _MICRO_OPS[opcode_name]:
+                if primitive == "load_a":
+                    total += self.tile_m * self.tile_k
+                elif primitive == "load_b":
+                    total += self.tile_k * self.tile_n
+                elif primitive == "configure":
+                    total += 3
+            self._needs[MATMUL_LITERALS[opcode_name]] = total
 
     # -- primitives ---------------------------------------------------------
     def _load_a(self) -> float:
@@ -125,8 +148,19 @@ class MatMulAccelerator(StreamAccelerator):
         return 0.0
 
     def _compute(self) -> float:
-        self._c = self._c + self._a @ self._b
+        # In-place accumulate: _push_c hands the buffer off and installs
+        # a fresh one, so the pushed array is never mutated afterwards.
         macs = self.tile_m * self.tile_n * self.tile_k
+        a, b = self._a, self._b
+        if macs >= 32768 and self.dtype.kind == "i" \
+                and float64_exact_bound(self.tile_k, a, b):
+            # Large tiles: int32 matmul has no BLAS kernel; the exact
+            # float64 path's final cast wraps identically to int32
+            # accumulation.
+            self._c += (a.astype(np.float64)
+                        @ b.astype(np.float64)).astype(np.int64)
+            return 2.0 * macs / self.ops_per_cycle
+        self._c += a @ b
         return 2.0 * macs / self.ops_per_cycle
 
     def _push_c(self) -> float:
@@ -153,6 +187,7 @@ class MatMulAccelerator(StreamAccelerator):
                     f"exceeds buffer capacity {self.buffer_capacity}"
                 )
         self.tile_m, self.tile_n, self.tile_k = tile_m, tile_n, tile_k
+        self._refresh_needs()
         self._reset()
         return 0.0
 

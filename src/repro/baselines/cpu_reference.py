@@ -17,6 +17,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from ..numerics import exact_int_matmul as _exact_int_matmul
 from ..soc.board import Board
 from ..soc.perf import PerfCounters
 
@@ -57,7 +58,7 @@ def cpu_matmul(board: Board, a: np.ndarray, b: np.ndarray,
         raise ValueError(f"matmul shapes {a.shape} x {b.shape} do not agree")
     if c is None:
         c = np.zeros((m, n), dtype=a.dtype)
-    c += (a.astype(np.int64) @ b.astype(np.int64)).astype(c.dtype) \
+    c += _exact_int_matmul(a, b).astype(c.dtype) \
         if np.issubdtype(a.dtype, np.integer) else a @ b
     footprint = (m * k + k * n + m * n) * a.dtype.itemsize
     counters = _kernel_counters(board, m * n * k, footprint)
@@ -88,7 +89,7 @@ def cpu_conv(board: Board, image: np.ndarray, weights: np.ndarray,
     )
     kernel = weights.reshape(out_ch, in_ch * f_h * f_w)
     if np.issubdtype(image.dtype, np.integer):
-        result = windows.astype(np.int64) @ kernel.astype(np.int64).T
+        result = _exact_int_matmul(windows, kernel.T)
     else:
         result = windows @ kernel.T
     out += result.transpose(0, 2, 1).reshape(

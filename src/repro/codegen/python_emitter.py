@@ -84,8 +84,16 @@ class PythonEmitter:
         for op in block.operations:
             self._emit_op(op)
 
+    #: op name -> handler attribute name (same memoized-mangling idiom
+    #: as Interpreter._execute).
+    _handler_names: Dict[str, str] = {}
+
     def _emit_op(self, op: Operation) -> None:
-        handler = getattr(self, "_op_" + op.name.replace(".", "_"), None)
+        attr = self._handler_names.get(op.name)
+        if attr is None:
+            attr = "_op_" + op.name.replace(".", "_")
+            self._handler_names[op.name] = attr
+        handler = getattr(self, attr, None)
         if handler is None:
             raise EmitError(f"cannot emit {op.name} as host code")
         handler(op)

@@ -12,8 +12,10 @@ Typical use (see ``examples/quickstart.py``)::
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from collections import OrderedDict
+from dataclasses import dataclass, field, replace
+from threading import Lock
+from typing import Callable, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -74,6 +76,99 @@ def build_conv_module(batch: int, in_ch: int, in_hw: int, out_ch: int,
     return module
 
 
+def accelerator_fingerprint(info: AcceleratorInfo) -> Tuple:
+    """A hashable digest of everything that affects lowering.
+
+    Two :class:`AcceleratorInfo` objects with equal fingerprints produce
+    identical host code for the same kernel/shape/flow, so compiled
+    kernels can be shared between compiler instances.
+    """
+    return (
+        info.name,
+        info.kernel,
+        info.accel_size,
+        str(info.data_type),
+        info.dims,
+        info.data,
+        str(info.opcode_map),
+        tuple((name, str(flow)) for name, flow in info.opcode_flows),
+        info.selected_flow,
+        str(info.init_opcodes) if info.init_opcodes is not None else None,
+        info.dma_config.as_operand_list(),
+        info.flexible_size,
+        info.flex_quantum,
+        info.buffer_capacity,
+        info.loop_permutation,
+        info.version,
+    )
+
+
+def cpu_fingerprint(cpu: CPUInfo) -> Tuple:
+    """The CPU-config half of a kernel cache key (tiling decisions)."""
+    return (cpu.cache_levels, cpu.cache_types, cpu.line_size,
+            cpu.associativity, cpu.frequency_hz)
+
+
+class KernelCache:
+    """LRU cache of lowered kernels, shared across compiler instances.
+
+    Flow-exploration sweeps (Fig. 11's 38 flows, fig12's specialized/
+    unspecialized panels, ``examples/dataflow_exploration.py``) compile
+    the same (accelerator, kernel, shape, flow, permutation, tiling)
+    configuration repeatedly; the lowering pipeline and Python emission
+    are deterministic, so each configuration is lowered at most once and
+    later requests rebind the cached entry.  ``specialized_copies`` is a
+    runtime knob, not a lowering input, so it is deliberately absent
+    from the key.
+    """
+
+    def __init__(self, maxsize: int = 256):
+        self.maxsize = maxsize
+        self._entries: "OrderedDict[Tuple, CompiledKernel]" = OrderedDict()
+        self._lock = Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
+
+    def stats(self) -> dict:
+        return {"hits": self.hits, "misses": self.misses,
+                "entries": len(self._entries)}
+
+    def get_or_compile(self, key: Tuple,
+                       compile_fn: Callable[[], "CompiledKernel"]
+                       ) -> "CompiledKernel":
+        with self._lock:
+            cached = self._entries.get(key)
+            if cached is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return cached
+        kernel = compile_fn()
+        with self._lock:
+            self.misses += 1
+            self._entries[key] = kernel
+            if len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+        return kernel
+
+
+#: Process-wide default cache; ``AXI4MLIRCompiler(use_kernel_cache=False)``
+#: opts out, tests reset it via ``default_kernel_cache().clear()``.
+_GLOBAL_KERNEL_CACHE = KernelCache()
+
+
+def default_kernel_cache() -> KernelCache:
+    return _GLOBAL_KERNEL_CACHE
+
+
 @dataclass
 class CompiledKernel:
     """The result of one compilation: IR, emitted source, callable."""
@@ -125,7 +220,9 @@ class AXI4MLIRCompiler:
                  flow_name: Optional[str] = None,
                  permutation: Optional[Sequence[str]] = None,
                  enable_cpu_tiling: bool = True,
-                 specialized_copies: bool = True):
+                 specialized_copies: bool = True,
+                 kernel_cache: Optional[KernelCache] = None,
+                 use_kernel_cache: bool = True):
         self.info = info
         self.cpu = cpu or CPUInfo()
         self.flow_name = flow_name
@@ -133,6 +230,8 @@ class AXI4MLIRCompiler:
             else info.loop_permutation
         self.enable_cpu_tiling = enable_cpu_tiling
         self.specialized_copies = specialized_copies
+        self.kernel_cache = kernel_cache if kernel_cache is not None \
+            else (_GLOBAL_KERNEL_CACHE if use_kernel_cache else None)
 
     # -- generic entry ---------------------------------------------------
     def compile_module(self, module: Module, func_name: str,
@@ -160,6 +259,37 @@ class AXI4MLIRCompiler:
             parameters=dict(parameters or {}),
         )
 
+    def _cache_key(self, kernel_name: str, shape: Tuple) -> Tuple:
+        permutation = tuple(self.permutation) \
+            if self.permutation is not None else None
+        return (
+            accelerator_fingerprint(self.info),
+            cpu_fingerprint(self.cpu),
+            self.flow_name,
+            permutation,
+            self.enable_cpu_tiling,
+            kernel_name,
+            shape,
+        )
+
+    def _compile_cached(self, kernel_name: str, shape: Tuple,
+                        build: Callable[[], CompiledKernel]
+                        ) -> CompiledKernel:
+        """Look up / populate the kernel cache for one named kernel.
+
+        Cache hits rebind the shared lowered module and entry point to
+        this compiler's runtime knobs; generated code never mutates its
+        IR, so sharing is safe.
+        """
+        cache = self.kernel_cache
+        if cache is None:
+            return build()
+        kernel = cache.get_or_compile(self._cache_key(kernel_name, shape),
+                                      build)
+        if kernel.specialized_copies == self.specialized_copies:
+            return kernel
+        return replace(kernel, specialized_copies=self.specialized_copies)
+
     # -- kernels -----------------------------------------------------------
     def compile_matmul(self, m: int, n: int, k: int) -> CompiledKernel:
         if self.info.kernel != "linalg.matmul":
@@ -167,10 +297,14 @@ class AXI4MLIRCompiler:
                 f"accelerator {self.info.name!r} implements "
                 f"{self.info.kernel!r}, not linalg.matmul"
             )
-        module = build_matmul_module(m, n, k, self.info.data_type)
-        return self.compile_module(
-            module, "matmul_call", {"m": m, "n": n, "k": k}
-        )
+
+        def build() -> CompiledKernel:
+            module = build_matmul_module(m, n, k, self.info.data_type)
+            return self.compile_module(
+                module, "matmul_call", {"m": m, "n": n, "k": k}
+            )
+
+        return self._compile_cached("matmul_call", (m, n, k), build)
 
     def compile_conv(self, batch: int, in_ch: int, in_hw: int, out_ch: int,
                      f_hw: int, stride: int = 1) -> CompiledKernel:
@@ -179,12 +313,18 @@ class AXI4MLIRCompiler:
                 f"accelerator {self.info.name!r} implements "
                 f"{self.info.kernel!r}, not linalg.conv_2d_nchw_fchw"
             )
-        module = build_conv_module(batch, in_ch, in_hw, out_ch, f_hw,
-                                   stride, self.info.data_type)
-        return self.compile_module(
-            module, "conv_call",
-            {"batch": batch, "in_ch": in_ch, "in_hw": in_hw,
-             "out_ch": out_ch, "f_hw": f_hw, "stride": stride},
+
+        def build() -> CompiledKernel:
+            module = build_conv_module(batch, in_ch, in_hw, out_ch, f_hw,
+                                       stride, self.info.data_type)
+            return self.compile_module(
+                module, "conv_call",
+                {"batch": batch, "in_ch": in_ch, "in_hw": in_hw,
+                 "out_ch": out_ch, "f_hw": f_hw, "stride": stride},
+            )
+
+        return self._compile_cached(
+            "conv_call", (batch, in_ch, in_hw, out_ch, f_hw, stride), build
         )
 
 

@@ -59,10 +59,19 @@ class Interpreter:
         except KeyError:
             raise InterpreterError(f"use of undefined value {value!r}") from None
 
+    #: op name -> handler attribute name, filled on first use.  Loop
+    #: bodies re-execute the same few op kinds thousands of times; the
+    #: repeated name mangling showed up in profiles.  The handler itself
+    #: is still fetched through getattr so subclass overrides and
+    #: per-instance patches keep working.
+    _handler_names: Dict[str, str] = {}
+
     def _execute(self, op: Operation):
-        handler = getattr(
-            self, "_op_" + op.name.replace(".", "_"), None
-        )
+        attr = self._handler_names.get(op.name)
+        if attr is None:
+            attr = "_op_" + op.name.replace(".", "_")
+            self._handler_names[op.name] = attr
+        handler = getattr(self, attr, None)
         if handler is None:
             raise InterpreterError(f"unsupported operation {op.name}")
         return handler(op)

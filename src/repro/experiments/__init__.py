@@ -6,6 +6,7 @@ print them as tables, and the paper-claims tests assert their shapes.
 """
 
 from .harness import (
+    kernel_cache_stats,
     measure_cpu_matmul,
     measure_generated_conv,
     measure_generated_matmul,
@@ -25,6 +26,7 @@ from .figures import (
 )
 
 __all__ = [
+    "kernel_cache_stats",
     "measure_cpu_matmul", "measure_generated_conv",
     "measure_generated_matmul", "measure_manual_conv",
     "measure_manual_matmul",

@@ -4,6 +4,12 @@ Every helper builds a fresh board, runs one configuration, checks the
 numerics against numpy, and returns the perf counter delta.  Results are
 memoized per parameter tuple — several figures share configurations, and
 the simulations are deterministic.
+
+Compilation goes through the process-wide kernel cache
+(:func:`repro.compiler.default_kernel_cache`): figures that sweep the
+same (accelerator, shape, flow) configuration with different *runtime*
+knobs (fig11's unspecialized copies vs fig12/13's specialized ones)
+lower each kernel exactly once and share the compiled entry point.
 """
 
 from __future__ import annotations
@@ -25,8 +31,13 @@ from ..baselines import (
     manual_conv_driver,
     manual_matmul_driver,
 )
-from ..compiler import AXI4MLIRCompiler
+from ..compiler import AXI4MLIRCompiler, default_kernel_cache
 from ..soc import PerfCounters, make_pynq_z2
+
+
+def kernel_cache_stats() -> dict:
+    """Hit/miss/entry counts of the shared compiled-kernel cache."""
+    return default_kernel_cache().stats()
 
 
 def _data(dims_m: int, dims_n: int, dims_k: int, seed: int = 7):
@@ -34,6 +45,16 @@ def _data(dims_m: int, dims_n: int, dims_k: int, seed: int = 7):
     a = rng.integers(-7, 7, (dims_m, dims_k)).astype(np.int32)
     b = rng.integers(-7, 7, (dims_k, dims_n)).astype(np.int32)
     return a, b
+
+
+def _expected_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Exact integer product, computed via BLAS.
+
+    ``int64 @ int64`` falls back to naive loops in numpy; float64 BLAS
+    is exact while ``k * max|a*b| < 2**53`` — the harness data is bounded
+    at |7|, so even the 512-deep reductions stay below 2**15.
+    """
+    return (a.astype(np.float64) @ b.astype(np.float64)).astype(np.int64)
 
 
 @lru_cache(maxsize=None)
@@ -62,7 +83,7 @@ def measure_generated_matmul(
     a, b = _data(dims_m, dims_n, dims_k)
     c = np.zeros((dims_m, dims_n), np.int32)
     counters = kernel.run(board, a, b, c)
-    if not np.array_equal(c, a.astype(np.int64) @ b.astype(np.int64)):
+    if not np.array_equal(c, _expected_matmul(a, b)):
         raise AssertionError(
             f"generated driver produced wrong results for "
             f"({dims_m},{dims_n},{dims_k}) v{version} {flow}"
@@ -82,7 +103,7 @@ def measure_manual_matmul(
     c = np.zeros((dims_m, dims_n), np.int32)
     counters = manual_matmul_driver(board, a, b, c, version, size, flow,
                                     tiles=tiles)
-    if not np.array_equal(c, a.astype(np.int64) @ b.astype(np.int64)):
+    if not np.array_equal(c, _expected_matmul(a, b)):
         raise AssertionError("manual driver produced wrong results")
     return counters
 

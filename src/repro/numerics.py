@@ -1,0 +1,31 @@
+"""Exact integer linear algebra via float64 BLAS, when provably safe.
+
+``int64 @ int64`` (and int32) has no BLAS kernel in numpy and falls
+back to naive loops; float64 BLAS is exact for integer operands while
+every partial sum fits the f64 mantissa: ``k * max|a| * max|b| < 2**53``
+guarantees all intermediates are exactly-representable integers, so
+reassociation cannot change the result.  Shared by the CPU baselines
+and the accelerator behavioural models.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def max_abs(array: np.ndarray) -> int:
+    """max(|array|) in exact Python ints (np.abs wraps on INT_MIN)."""
+    return max(abs(int(array.max(initial=0))), abs(int(array.min(initial=0))))
+
+
+def float64_exact_bound(k: int, a: np.ndarray, b: np.ndarray) -> bool:
+    """True when ``a @ b`` with reduction depth ``k`` is f64-exact."""
+    return k * max_abs(a) * max_abs(b) < 2 ** 53
+
+
+def exact_int_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """``a @ b`` for integer operands, exactly (int64 semantics)."""
+    if a.size and b.size and float64_exact_bound(a.shape[-1], a, b):
+        return (a.astype(np.float64) @ b.astype(np.float64)) \
+            .astype(np.int64)
+    return a.astype(np.int64) @ b.astype(np.int64)

@@ -57,16 +57,17 @@ class AxiRuntime:
             raise ValueError(f"unknown copy style {copy_style!r}")
         self.copy_style = copy_style
         self.dma: Optional[DmaEngine] = None
+        timing = board.timing
+        if call_style == CALL_STYLE_GENERATED:
+            self._call_cost = (timing.generated_call_cycles,
+                               timing.generated_call_branches)
+        else:
+            self._call_cost = (timing.manual_call_cycles,
+                               timing.manual_call_branches)
 
     # -- internal ----------------------------------------------------------
     def _charge_call(self) -> None:
-        timing = self.board.timing
-        if self.call_style == CALL_STYLE_GENERATED:
-            self.board.host_work(timing.generated_call_cycles,
-                                 timing.generated_call_branches)
-        else:
-            self.board.host_work(timing.manual_call_cycles,
-                                 timing.manual_call_branches)
+        self.board.host_work(*self._call_cost)
 
     def _require_dma(self) -> DmaEngine:
         if self.dma is None:

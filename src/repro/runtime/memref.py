@@ -36,6 +36,15 @@ class MemRefDescriptor:
         self.name = name
         if len(self.sizes) != len(self.strides):
             raise ValueError("sizes/strides rank mismatch")
+        # Hot-path metadata as plain attributes (the staging kernels
+        # read these once per copied tile).
+        self.rank = len(self.sizes)
+        self.dtype = allocated.dtype
+        self.itemsize = allocated.dtype.itemsize
+        total = 1
+        for size in self.sizes:
+            total *= size
+        self._num_elements = total
 
     # -- constructors ---------------------------------------------------------
     @staticmethod
@@ -52,26 +61,11 @@ class MemRefDescriptor:
         )
 
     # -- shape queries ----------------------------------------------------------
-    @property
-    def rank(self) -> int:
-        return len(self.sizes)
-
-    @property
-    def dtype(self) -> np.dtype:
-        return self.allocated.dtype
-
-    @property
-    def itemsize(self) -> int:
-        return self.allocated.dtype.itemsize
-
     def num_elements(self) -> int:
-        total = 1
-        for size in self.sizes:
-            total *= size
-        return total
+        return self._num_elements
 
     def num_bytes(self) -> int:
-        return self.num_elements() * self.itemsize
+        return self._num_elements * self.itemsize
 
     def is_contiguous(self) -> bool:
         expected = 1
@@ -121,13 +115,23 @@ class MemRefDescriptor:
         """A numpy view with this descriptor's shape/strides (no copy)."""
         if self.rank == 0:
             return self.allocated[self.offset:self.offset + 1].reshape(())
-        byte_strides = tuple(s * self.itemsize for s in self.strides)
-        return np.lib.stride_tricks.as_strided(
-            self.allocated[self.offset:],
-            shape=self.sizes,
-            strides=byte_strides,
-            writeable=True,
-        )
+        itemsize = self.itemsize
+        byte_strides = tuple(s * itemsize for s in self.strides)
+        try:
+            # Direct construction is several times cheaper than
+            # as_strided and views are built once per staged tile.
+            return np.ndarray(self.sizes, self.dtype,
+                              self.allocated.data, self.offset * itemsize,
+                              byte_strides)
+        except (ValueError, TypeError):
+            # Exotic layouts (e.g. negative strides) fall back to the
+            # unchecked construction.
+            return np.lib.stride_tricks.as_strided(
+                self.allocated[self.offset:],
+                shape=self.sizes,
+                strides=byte_strides,
+                writeable=True,
+            )
 
     def to_numpy(self) -> np.ndarray:
         return np.array(self.view())
@@ -156,10 +160,24 @@ class MemRefDescriptor:
                     )
             new_offset += offset * stride
             new_strides.append(stride * rel)
-        return MemRefDescriptor(
-            self.allocated, new_offset, sizes, new_strides,
-            self.base_address, name or f"{self.name}.sub",
-        )
+        # Subviews are built once per staged tile; skip __init__'s
+        # re-validation (the loop above already bounds-checked).
+        sub = MemRefDescriptor.__new__(MemRefDescriptor)
+        sub.allocated = self.allocated
+        sub.aligned = self.allocated
+        sub.offset = new_offset
+        sub.sizes = tuple(sizes)
+        sub.strides = tuple(new_strides)
+        sub.base_address = self.base_address
+        sub.name = name or f"{self.name}.sub"
+        sub.rank = self.rank
+        sub.dtype = self.dtype
+        sub.itemsize = self.itemsize
+        total = 1
+        for size in sub.sizes:
+            total *= size
+        sub._num_elements = total
+        return sub
 
     def __repr__(self) -> str:
         return (

@@ -59,6 +59,20 @@ class AxiStreamFifo:
                 f"{self.name}: requested {count} words, only "
                 f"{self._available} available"
             )
+        if count == 0:
+            return np.empty(0, dtype=dtype)
+        head = self._chunks[0]
+        if head.size >= count:
+            # Fast path: the head chunk covers the request (bursts are
+            # pushed whole, so this is the overwhelmingly common case).
+            if head.size == count:
+                self._chunks.pop(0)
+                out = head
+            else:
+                out = head[:count]
+                self._chunks[0] = head[count:]
+            self._available -= count
+            return out.view(dtype) if out.dtype != dtype else out
         parts: List[np.ndarray] = []
         remaining = count
         while remaining:
@@ -74,8 +88,23 @@ class AxiStreamFifo:
         self._available -= count
         if not parts:
             return np.empty(0, dtype=dtype)
-        out = np.concatenate(parts) if len(parts) > 1 else parts[0].copy()
+        # Single-part pops hand out the chunk (or a slice of it) without
+        # copying; consumers treat popped words as read-only.
+        out = np.concatenate(parts) if len(parts) > 1 else parts[0]
         return out.view(dtype) if out.dtype != dtype else out
+
+    def pop_word(self) -> int:
+        """Consume exactly one word (the opcode-fetch fast path)."""
+        if not self._available:
+            raise StreamUnderflow(f"{self.name}: empty")
+        head = self._chunks[0]
+        word = int(head[0])
+        if head.size == 1:
+            self._chunks.pop(0)
+        else:
+            self._chunks[0] = head[1:]
+        self._available -= 1
+        return word
 
     def peek_word(self) -> int:
         if not self._available:

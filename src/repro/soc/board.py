@@ -37,18 +37,23 @@ class Board:
         self.dma_busy_until = 0.0
 
     # -- timeline ---------------------------------------------------------
+    # ``counters.elapsed_seconds`` mirrors ``clock`` but is only synced
+    # when a measurement is taken (snapshot/measure_since) — the wall
+    # clock advances millions of times per run and writing the mirror
+    # on every step showed up in profiles.
+
     def advance_cpu(self, cycles: float) -> None:
         """Advance the wall clock by CPU-busy cycles (counters unchanged)."""
         self.clock += cycles / self.timing.cpu_freq_hz
-        self.counters.elapsed_seconds = self.clock
 
     def host_work(self, cycles: float, branches: float = 0.0,
                   references: float = 0.0) -> None:
         """Charge plain host instructions (loop bookkeeping, address math)."""
-        self.counters.cpu_cycles += cycles
-        self.counters.branch_instructions += branches
-        self.counters.cache_references += references
-        self.advance_cpu(cycles)
+        counters = self.counters
+        counters.cpu_cycles += cycles
+        counters.branch_instructions += branches
+        counters.cache_references += references
+        self.clock += cycles / self.timing.cpu_freq_hz
 
     def stall_until(self, timestamp: float) -> None:
         """Busy-wait until ``timestamp``, charging poll loop costs."""
@@ -60,7 +65,6 @@ class Board:
         self.counters.stall_cycles += stall_cycles
         self.counters.branch_instructions += polls * self.timing.poll_branches
         self.clock = timestamp
-        self.counters.elapsed_seconds = self.clock
 
     def advance_transfer(self, seconds: float) -> None:
         """Block the CPU for a DMA transfer (send/recv wait)."""
@@ -96,10 +100,16 @@ class Board:
         self.stall_until(self.accel_ready_at)
 
     # -- measurement ----------------------------------------------------------
+    def sync_elapsed(self) -> None:
+        """Bring ``counters.elapsed_seconds`` up to date with the clock."""
+        self.counters.elapsed_seconds = self.clock
+
     def snapshot(self) -> PerfCounters:
+        self.sync_elapsed()
         return self.counters.copy()
 
     def measure_since(self, snapshot: PerfCounters) -> PerfCounters:
+        self.sync_elapsed()
         return self.counters.delta_since(snapshot)
 
     def reset_measurement(self) -> None:

@@ -5,6 +5,29 @@ ranges (or precomputed line addresses) and receive hit/miss counts.  The
 hierarchy wires L1D in front of a shared L2, charges the timing model's
 penalties, and updates a :class:`~repro.soc.perf.PerfCounters`.
 
+Two access paths share one cache state:
+
+* the scalar reference — :meth:`Cache.access_line` /
+  :meth:`CacheHierarchy.touch_lines` — processes one line at a time and
+  defines the semantics;
+* the batched engine — :meth:`CacheHierarchy.touch_lines_batch` (and
+  the array-in entry point :meth:`Cache.access_batch`) — takes a whole
+  line sequence (the copy kernels feed memoized per-tile sequences,
+  see ``repro.runtime.copy``) and charges it in one pass: a single
+  fused L1→L2 loop over C-speed insertion-ordered dicts, with hit/miss
+  totals and the miss penalty computed analytically per batch instead
+  of per line.
+
+Each set is one ``dict`` keyed by line address: insertion order is
+recency order, so a hit is ``del``+reinsert (move to MRU) and eviction
+pops the first key (LRU) — every operation is a C-level dict primitive.
+A numpy tag/age table was benchmarked for the batch path and loses
+badly here: copy batches are a few dozen lines (one tile), far below
+the break-even point of vectorized set lookups, and power-of-two tile
+strides make rows conflict in the same sets, which forces multi-round
+scatter resolution.  Property tests assert the batched path produces
+bit-identical counters to the scalar reference.
+
 For speed the copy kernels deduplicate intra-copy line reuse analytically
 and only feed *first-touch* line sequences here (a tile is far smaller
 than L1, so intra-copy reuse always hits).  Unit tests cross-check the
@@ -14,6 +37,8 @@ two paths on small tiles.
 from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
 
 from .perf import PerfCounters
 from .timing import TimingModel
@@ -34,13 +59,21 @@ class Cache:
         self.associativity = associativity
         self.name = name
         self.num_sets = size_bytes // (line_size * associativity)
-        # Per set: list of tags in LRU order (front = least recent).
-        self._sets: List[List[int]] = [[] for _ in range(self.num_sets)]
+        #: ``line & set_mask`` == ``line % num_sets`` when the set count
+        #: is a power of two (the realistic geometries) — the batched
+        #: loop prefers the cheaper AND.
+        self.set_mask = self.num_sets - 1 \
+            if self.num_sets & (self.num_sets - 1) == 0 else None
+        # Per set: resident line addresses in LRU order (dict insertion
+        # order; front = least recent).
+        self._sets: List[Dict[int, None]] = [
+            {} for _ in range(self.num_sets)
+        ]
         self.hits = 0
         self.misses = 0
 
     def reset(self) -> None:
-        self._sets = [[] for _ in range(self.num_sets)]
+        self._sets = [{} for _ in range(self.num_sets)]
         self.hits = 0
         self.misses = 0
 
@@ -48,50 +81,63 @@ class Cache:
         return address // self.line_size
 
     def access_line(self, line: int) -> bool:
-        """Touch one line address; returns True on hit."""
-        set_index = line % self.num_sets
-        tag = line // self.num_sets
-        ways = self._sets[set_index]
-        try:
-            ways.remove(tag)
-        except ValueError:
-            self.misses += 1
-            ways.append(tag)
-            if len(ways) > self.associativity:
-                ways.pop(0)
-            return False
-        self.hits += 1
-        ways.append(tag)
-        return True
+        """Touch one line address; returns True on hit.
 
-    def access_lines(self, lines: Iterable[int]) -> Tuple[int, int]:
-        """Touch many lines; returns (hits, misses) for this batch."""
-        hits = 0
-        misses = 0
+        This is the scalar reference path; :meth:`access_batch` must
+        produce identical counts for any access sequence.
+        """
+        ways = self._sets[line % self.num_sets]
+        if line in ways:
+            del ways[line]
+            ways[line] = None
+            self.hits += 1
+            return True
+        ways[line] = None
+        if len(ways) > self.associativity:
+            del ways[next(iter(ways))]
+        self.misses += 1
+        return False
+
+    def access_batch(self, lines: np.ndarray) -> np.ndarray:
+        """Touch a line-address array; returns the per-line hit mask.
+
+        Exactly equivalent to calling :meth:`access_line` per entry in
+        order, but runs as one tight pass with the counters updated
+        once per batch.
+        """
+        seq = lines.tolist() if isinstance(lines, np.ndarray) else lines
         sets = self._sets
         num_sets = self.num_sets
         associativity = self.associativity
-        for line in lines:
-            set_index = line % num_sets
-            tag = line // num_sets
-            ways = sets[set_index]
-            if tag in ways:
-                ways.remove(tag)
-                ways.append(tag)
+        mask = []
+        append = mask.append
+        hits = 0
+        for line in seq:
+            ways = sets[line % num_sets]
+            if line in ways:
+                del ways[line]
+                ways[line] = None
                 hits += 1
+                append(True)
             else:
-                ways.append(tag)
+                ways[line] = None
                 if len(ways) > associativity:
-                    ways.pop(0)
-                misses += 1
+                    del ways[next(iter(ways))]
+                append(False)
         self.hits += hits
-        self.misses += misses
-        return hits, misses
+        self.misses += len(mask) - hits
+        return np.asarray(mask, dtype=bool)
+
+    def access_lines(self, lines: Iterable[int]) -> Tuple[int, int]:
+        """Touch many lines; returns (hits, misses) for this batch."""
+        mask = self.access_batch(
+            lines if isinstance(lines, (list, np.ndarray)) else list(lines)
+        )
+        hits = int(mask.sum())
+        return hits, mask.size - hits
 
     def contains_line(self, line: int) -> bool:
-        set_index = line % self.num_sets
-        tag = line // self.num_sets
-        return tag in self._sets[set_index]
+        return line in self._sets[line % self.num_sets]
 
     def occupancy(self) -> int:
         """Number of resident lines (for tests)."""
@@ -126,7 +172,7 @@ class CacheHierarchy:
 
     def touch_lines(self, lines: Iterable[int],
                     counters: PerfCounters) -> float:
-        """Access lines through the hierarchy.
+        """Access lines through the hierarchy (scalar reference path).
 
         Updates miss counters and returns the *extra* CPU cycles incurred
         by misses (the base access cost is charged by the caller as part
@@ -150,11 +196,123 @@ class CacheHierarchy:
                             + timing.l2_miss_penalty_cycles)
         return penalty
 
+    def touch_lines_batch(self, lines: np.ndarray,
+                          counters: PerfCounters) -> float:
+        """Batched :meth:`touch_lines`: one fused L1→L2 pass.
+
+        Processes the batch with both levels inlined into a single loop
+        over C-speed dict operations, then updates counters and computes
+        the penalty analytically from the per-batch totals — the per-
+        line decision sequence is identical to the scalar reference, so
+        the counts (and the penalty, a sum of per-line constants) are
+        bit-identical.
+        """
+        seq = lines.tolist() if isinstance(lines, np.ndarray) else lines
+        if not seq:
+            return 0.0
+        l1, l2 = self.l1, self.l2
+        sets1, num_sets1, assoc1 = l1._sets, l1.num_sets, l1.associativity
+        sets2, num_sets2, assoc2 = l2._sets, l2.num_sets, l2.associativity
+        l1_hits = 0
+        l2_hits = 0
+        l2_misses = 0
+        missing = False
+        mask1 = l1.set_mask
+        mask2 = l2.set_mask
+        if mask1 is not None and mask2 is not None:
+            # pop-and-reinsert moves the line to MRU with two dict
+            # operations; the default (False, never a stored value)
+            # distinguishes a miss without a second lookup.
+            for line in seq:
+                ways = sets1[line & mask1]
+                if ways.pop(line, missing) is None:
+                    ways[line] = None
+                    l1_hits += 1
+                    continue
+                ways[line] = None
+                if len(ways) > assoc1:
+                    del ways[next(iter(ways))]
+                ways2 = sets2[line & mask2]
+                if ways2.pop(line, missing) is None:
+                    ways2[line] = None
+                    l2_hits += 1
+                else:
+                    ways2[line] = None
+                    if len(ways2) > assoc2:
+                        del ways2[next(iter(ways2))]
+                    l2_misses += 1
+        else:
+            for line in seq:
+                ways = sets1[line % num_sets1]
+                if ways.pop(line, missing) is None:
+                    ways[line] = None
+                    l1_hits += 1
+                    continue
+                ways[line] = None
+                if len(ways) > assoc1:
+                    del ways[next(iter(ways))]
+                ways2 = sets2[line % num_sets2]
+                if ways2.pop(line, missing) is None:
+                    ways2[line] = None
+                    l2_hits += 1
+                else:
+                    ways2[line] = None
+                    if len(ways2) > assoc2:
+                        del ways2[next(iter(ways2))]
+                    l2_misses += 1
+        total = len(seq)
+        l1_misses = total - l1_hits
+        l1.hits += l1_hits
+        l1.misses += l1_misses
+        l2.hits += l2_hits
+        l2.misses += l2_misses
+        counters.cache_misses += l1_misses
+        counters.l2_references += l1_misses
+        counters.l2_misses += l2_misses
+        timing = self.timing
+        return (l1_hits * timing.l1_hit_extra_cycles
+                + l1_misses * timing.l1_miss_penalty_cycles
+                + l2_misses * timing.l2_miss_penalty_cycles)
+
     def touch_range(self, start_byte: int, num_bytes: int,
                     counters: PerfCounters) -> float:
         return self.touch_lines(
             lines_of_range(start_byte, num_bytes, self.line_size), counters
         )
+
+    def touch_word(self, start_byte: int, counters: PerfCounters) -> float:
+        """Touch one aligned 32-bit word (at most one line straddle)."""
+        line_size = self.line_size
+        first = start_byte // line_size
+        last = (start_byte + 3) // line_size
+        if first != last:
+            return self.touch_lines_batch((first, last), counters)
+        # Aligned words never straddle: inline the single access.
+        l1 = self.l1
+        timing = self.timing
+        ways = l1._sets[first % l1.num_sets]
+        if ways.pop(first, False) is None:
+            ways[first] = None
+            l1.hits += 1
+            return timing.l1_hit_extra_cycles
+        ways[first] = None
+        if len(ways) > l1.associativity:
+            del ways[next(iter(ways))]
+        l1.misses += 1
+        counters.cache_misses += 1
+        counters.l2_references += 1
+        l2 = self.l2
+        ways2 = l2._sets[first % l2.num_sets]
+        if ways2.pop(first, False) is None:
+            ways2[first] = None
+            l2.hits += 1
+            return timing.l1_miss_penalty_cycles
+        ways2[first] = None
+        if len(ways2) > l2.associativity:
+            del ways2[next(iter(ways2))]
+        l2.misses += 1
+        counters.l2_misses += 1
+        return timing.l1_miss_penalty_cycles + timing.l2_miss_penalty_cycles
 
 
 def hierarchy_from_cpu_info(cpu_info, timing: TimingModel) -> CacheHierarchy:

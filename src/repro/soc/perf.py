@@ -47,22 +47,25 @@ class PerfCounters:
         return self.elapsed_seconds * 1e3
 
     # -- arithmetic -------------------------------------------------------
+    # The field-name tuple is hoisted to module level (_COUNTER_FIELDS,
+    # below) so snapshot/delta pairs taken around every measurement skip
+    # the dataclasses.fields() introspection.
     def add(self, other: "PerfCounters") -> "PerfCounters":
-        for f in fields(self):
-            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+        for name in _COUNTER_FIELDS:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
         return self
 
     def copy(self) -> "PerfCounters":
         clone = PerfCounters()
-        for f in fields(self):
-            setattr(clone, f.name, getattr(self, f.name))
+        for name in _COUNTER_FIELDS:
+            setattr(clone, name, getattr(self, name))
         return clone
 
     def delta_since(self, snapshot: "PerfCounters") -> "PerfCounters":
         result = PerfCounters()
-        for f in fields(self):
-            setattr(result, f.name,
-                    getattr(self, f.name) - getattr(snapshot, f.name))
+        for name in _COUNTER_FIELDS:
+            setattr(result, name,
+                    getattr(self, name) - getattr(snapshot, name))
         return result
 
     def normalized_to(self, baseline: "PerfCounters") -> dict:
@@ -81,7 +84,7 @@ class PerfCounters:
         }
 
     def as_dict(self) -> dict:
-        result = {f.name: getattr(self, f.name) for f in fields(self)}
+        result = {name: getattr(self, name) for name in _COUNTER_FIELDS}
         result["task_clock_ms"] = self.task_clock_ms()
         return result
 
@@ -91,6 +94,9 @@ class PerfCounters:
             f"cache-references {self.cache_references:.0f}, "
             f"branch-instructions {self.branch_instructions:.0f}"
         )
+
+
+_COUNTER_FIELDS = tuple(f.name for f in fields(PerfCounters))
 
 
 @dataclass

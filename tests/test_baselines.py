@@ -99,6 +99,16 @@ class TestManualConv:
 
 
 class TestCpuReference:
+    def test_exact_matmul_extreme_values(self, board):
+        # INT32_MIN wraps under np.abs; the float64 fast-path guard must
+        # reject such inputs and fall back to exact int64 arithmetic.
+        from repro.numerics import exact_int_matmul as _exact_int_matmul
+
+        a = np.full((1, 4), -2 ** 31, dtype=np.int32)
+        b = np.full((4, 1), 2 ** 31 - 1, dtype=np.int32)
+        expected = a.astype(np.int64) @ b.astype(np.int64)
+        assert _exact_int_matmul(a, b)[0, 0] == expected[0, 0]
+
     def test_matmul_functional(self, rng, board):
         a = rng.integers(-7, 7, (16, 16)).astype(np.int32)
         b = rng.integers(-7, 7, (16, 16)).astype(np.int32)

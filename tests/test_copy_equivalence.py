@@ -1,0 +1,122 @@
+"""Counter-equivalence property tests for the vectorized cost engine.
+
+The batched cache engine and the vectorized copy charging must produce
+*bit-identical* counters to the retained scalar reference paths
+(``Cache.access_line`` loops and ``charge_memref_copy_reference``) for
+any memref geometry — every figure in the evaluation depends on exact
+counter reproduction.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.runtime.copy import (
+    CopyKinds,
+    charge_memref_copy,
+    charge_memref_copy_reference,
+)
+from repro.runtime.memref import MemRefDescriptor
+from repro.soc import make_pynq_z2
+from repro.soc.cache import Cache, CacheHierarchy
+from repro.soc.perf import PerfCounters
+from repro.soc.timing import TimingModel
+
+
+# ---------------------------------------------------------------------------
+# Batched cache accesses vs the scalar reference
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=60)
+@given(
+    lines=st.lists(st.integers(0, 120), min_size=1, max_size=250),
+    splits=st.lists(st.integers(1, 40), min_size=0, max_size=6),
+)
+def test_access_batch_matches_access_line(lines, splits):
+    scalar = Cache(512, 32, 2)
+    batched = Cache(512, 32, 2)
+    scalar_results = [scalar.access_line(line) for line in lines]
+    batch_results = []
+    cursor = 0
+    bounds = sorted({min(s, len(lines)) for s in splits} | {len(lines)})
+    for bound in bounds:
+        if bound > cursor:
+            chunk = np.asarray(lines[cursor:bound], dtype=np.int64)
+            batch_results.extend(batched.access_batch(chunk).tolist())
+            cursor = bound
+    assert scalar_results == batch_results
+    assert (scalar.hits, scalar.misses) == (batched.hits, batched.misses)
+    assert scalar.occupancy() == batched.occupancy()
+    for line in set(lines):
+        assert scalar.contains_line(line) == batched.contains_line(line)
+
+
+@settings(max_examples=40)
+@given(lines=st.lists(st.integers(0, 400), min_size=1, max_size=300))
+def test_hierarchy_batch_matches_scalar(lines):
+    timing = TimingModel()
+    scalar = CacheHierarchy(timing, Cache(256, 32, 2), Cache(2048, 32, 4))
+    batched = CacheHierarchy(timing, Cache(256, 32, 2), Cache(2048, 32, 4))
+    counters_scalar = PerfCounters()
+    counters_batched = PerfCounters()
+    penalty_scalar = scalar.touch_lines(lines, counters_scalar)
+    penalty_batched = batched.touch_lines_batch(
+        np.asarray(lines, dtype=np.int64), counters_batched
+    )
+    assert penalty_scalar == penalty_batched
+    assert counters_scalar.as_dict() == counters_batched.as_dict()
+
+
+# ---------------------------------------------------------------------------
+# Vectorized copy charging vs the per-row reference
+# ---------------------------------------------------------------------------
+
+_DTYPES = (np.int32, np.int64, np.float32, np.float64)
+
+
+@st.composite
+def memref_geometries(draw):
+    rank = draw(st.integers(0, 4))
+    sizes = tuple(draw(st.integers(1, 5)) for _ in range(rank))
+    strides = []
+    acc = 1
+    for extent in reversed(sizes):
+        strides.append(acc * draw(st.sampled_from([1, 1, 2, 3])))
+        acc = max(acc * extent, 1) * draw(st.sampled_from([1, 2]))
+    strides = tuple(reversed(strides))
+    offset = draw(st.integers(0, 3))
+    dtype_index = draw(st.integers(0, len(_DTYPES) - 1))
+    return sizes, strides, offset, dtype_index
+
+
+@settings(max_examples=120, deadline=None)
+@given(
+    geometry=memref_geometries(),
+    style=st.sampled_from(CopyKinds.ALL),
+    accumulate=st.booleans(),
+    offset_words=st.integers(0, 6),
+    repeats=st.integers(1, 3),
+)
+def test_charge_copy_counters_bit_identical(geometry, style, accumulate,
+                                            offset_words, repeats):
+    sizes, strides, offset, dtype_index = geometry
+    dtype = _DTYPES[dtype_index]
+    span = 1 + offset
+    for extent, stride in zip(sizes, strides):
+        span += (extent - 1) * abs(stride)
+    storage = np.arange(span, dtype=dtype)
+
+    def run(charge):
+        board = make_pynq_z2()
+        region = board.memory.allocate(1 << 14, "region")
+        base = board.memory.allocate(int(storage.nbytes), "src").base
+        desc = MemRefDescriptor(storage, offset, sizes, strides, base)
+        # Repeat so the second copy exercises a warm (stateful) cache.
+        for _ in range(repeats):
+            charge(board, desc, region.base, offset_words * 4, style,
+                   accumulate)
+        return board.counters.as_dict(), board.clock
+
+    vec_counters, vec_clock = run(charge_memref_copy)
+    ref_counters, ref_clock = run(charge_memref_copy_reference)
+    assert vec_counters == ref_counters
+    assert vec_clock == ref_clock

@@ -1,0 +1,131 @@
+"""Tests for the compiled-kernel cache (flow-exploration sweeps)."""
+
+import numpy as np
+import pytest
+
+from repro.accelerators import make_matmul_system
+from repro.accelerators.catalog import VERSION_FLOWS
+from repro.compiler import (
+    AXI4MLIRCompiler,
+    KernelCache,
+    accelerator_fingerprint,
+    default_kernel_cache,
+)
+from repro.soc import make_pynq_z2
+
+
+@pytest.fixture
+def cache():
+    return KernelCache()
+
+
+def make_compiler(cache, version=3, size=8, flow="Ns", **kwargs):
+    _, info = make_matmul_system(version, size, flow=flow)
+    return AXI4MLIRCompiler(info, kernel_cache=cache, **kwargs)
+
+
+class TestKernelCache:
+    def test_second_compile_hits(self, cache):
+        kernel_a = make_compiler(cache).compile_matmul(32, 32, 32)
+        kernel_b = make_compiler(cache).compile_matmul(32, 32, 32)
+        assert cache.stats() == {"hits": 1, "misses": 1, "entries": 1}
+        assert kernel_a.entry_point is kernel_b.entry_point
+        assert kernel_a.source == kernel_b.source
+
+    def test_specialized_copies_share_lowering(self, cache):
+        fast = make_compiler(cache, specialized_copies=True) \
+            .compile_matmul(32, 32, 32)
+        slow = make_compiler(cache, specialized_copies=False) \
+            .compile_matmul(32, 32, 32)
+        assert cache.misses == 1 and cache.hits == 1
+        assert fast.entry_point is slow.entry_point
+        assert fast.specialized_copies and not slow.specialized_copies
+
+    def test_distinct_configs_do_not_collide(self, cache):
+        make_compiler(cache, flow="Ns").compile_matmul(32, 32, 32)
+        make_compiler(cache, flow="Cs").compile_matmul(32, 32, 32)
+        make_compiler(cache, flow="Ns").compile_matmul(64, 32, 32)
+        make_compiler(cache, size=16, flow="Ns").compile_matmul(32, 32, 32)
+        assert cache.misses == 4 and cache.hits == 0
+
+    def test_flow_sweep_compiles_each_config_once(self, cache):
+        """The fig11 acceptance criterion: one lowering per (flow, shape)."""
+        configs = [
+            (dims, size, version, flow)
+            for dims in (32, 64)
+            for size in (8, 16)
+            for version in (2, 3)
+            for flow in VERSION_FLOWS[version]
+        ]
+        for specialized in (False, True):  # fig11 then fig12/13 settings
+            for dims, size, version, flow in configs:
+                _, info = make_matmul_system(version, size, flow=flow)
+                compiler = AXI4MLIRCompiler(
+                    info, specialized_copies=specialized, kernel_cache=cache
+                )
+                compiler.compile_matmul(dims, dims, dims)
+        assert cache.misses == len(configs)
+        assert cache.hits == len(configs)
+
+    def test_cached_kernel_runs_correctly(self, cache):
+        hw, info = make_matmul_system(3, 8, flow="Cs")
+        AXI4MLIRCompiler(info, kernel_cache=cache).compile_matmul(32, 32, 32)
+        kernel = AXI4MLIRCompiler(info, kernel_cache=cache) \
+            .compile_matmul(32, 32, 32)
+        assert cache.hits == 1
+        board = make_pynq_z2()
+        board.attach_accelerator(hw)
+        rng = np.random.default_rng(5)
+        a = rng.integers(-5, 5, (32, 32)).astype(np.int32)
+        b = rng.integers(-5, 5, (32, 32)).astype(np.int32)
+        c = np.zeros((32, 32), np.int32)
+        counters = kernel.run(board, a, b, c)
+        assert np.array_equal(c, a.astype(np.int64) @ b.astype(np.int64))
+        assert counters.task_clock_ms() > 0
+
+    def test_cache_counters_match_uncached(self):
+        """A cache hit must not change measured results."""
+
+        def measure(**compiler_kwargs):
+            hw, info = make_matmul_system(3, 8, flow="As")
+            board = make_pynq_z2()
+            board.attach_accelerator(hw)
+            kernel = AXI4MLIRCompiler(info, **compiler_kwargs) \
+                .compile_matmul(32, 32, 32)
+            rng = np.random.default_rng(9)
+            a = rng.integers(-5, 5, (32, 32)).astype(np.int32)
+            b = rng.integers(-5, 5, (32, 32)).astype(np.int32)
+            c = np.zeros((32, 32), np.int32)
+            return kernel.run(board, a, b, c).as_dict()
+
+        cache = KernelCache()
+        first = measure(kernel_cache=cache)
+        cached = measure(kernel_cache=cache)
+        uncached = measure(use_kernel_cache=False)
+        assert cache.hits == 1
+        assert first == cached == uncached
+
+    def test_eviction_respects_maxsize(self):
+        cache = KernelCache(maxsize=2)
+        for dims in (16, 32, 48):
+            make_compiler(cache).compile_matmul(dims, dims, dims)
+        assert len(cache) == 2
+        make_compiler(cache).compile_matmul(16, 16, 16)  # evicted → miss
+        assert cache.misses == 4
+
+    def test_opt_out_bypasses_global_cache(self):
+        _, info = make_matmul_system(3, 8, flow="Ns")
+        compiler = AXI4MLIRCompiler(info, use_kernel_cache=False)
+        assert compiler.kernel_cache is None
+
+    def test_default_is_process_global(self):
+        _, info = make_matmul_system(3, 8, flow="Ns")
+        compiler = AXI4MLIRCompiler(info)
+        assert compiler.kernel_cache is default_kernel_cache()
+
+    def test_fingerprint_distinguishes_flows(self):
+        _, ns = make_matmul_system(3, 8, flow="Ns")
+        _, cs = make_matmul_system(3, 8, flow="Cs")
+        assert accelerator_fingerprint(ns) != accelerator_fingerprint(cs)
+        _, ns2 = make_matmul_system(3, 8, flow="Ns")
+        assert accelerator_fingerprint(ns) == accelerator_fingerprint(ns2)

@@ -12,7 +12,11 @@ from repro.runtime import (
     CopyKinds,
     MemRefDescriptor,
 )
-from repro.runtime.copy import stage_memref_to_region, words_view
+from repro.runtime.copy import (
+    stage_memref_to_region,
+    unstage_region_to_memref,
+    words_view,
+)
 from repro.soc import make_pynq_z2
 
 
@@ -204,6 +208,61 @@ class TestCopyKernels:
         assert np.array_equal(
             words_view(desc).view(np.int32), array.reshape(-1)
         )
+
+
+class TestWideElementStaging:
+    """The DMA staging path must honour element sizes, not assume 4B."""
+
+    def make_board_region(self):
+        board = make_pynq_z2()
+        region = board.memory.allocate(4096, "region")
+        words = np.zeros(1024, dtype=np.uint32)
+        return board, region, words
+
+    @pytest.mark.parametrize("dtype", (np.int64, np.float64))
+    def test_wide_round_trip(self, dtype, rng):
+        board, region, words = self.make_board_region()
+        array = rng.integers(-9, 9, (4, 4)).astype(dtype)
+        desc = MemRefDescriptor.from_numpy(
+            array, board.memory.allocate(array.nbytes, "src").base
+        )
+        end = stage_memref_to_region(board, desc, words, region.base, 0,
+                                     CopyKinds.SPECIALIZED)
+        assert end == array.nbytes  # two words per element
+        out = np.zeros((4, 4), dtype)
+        out_desc = MemRefDescriptor.from_numpy(
+            out, board.memory.allocate(out.nbytes, "dst").base
+        )
+        unstage_region_to_memref(board, out_desc, words, region.base, 0,
+                                 CopyKinds.SPECIALIZED, accumulate=False)
+        assert np.array_equal(out, array)
+
+    def test_wide_unstage_at_odd_word_offset(self, rng):
+        board, region, words = self.make_board_region()
+        array = rng.integers(-9, 9, (2, 3)).astype(np.int64)
+        words[1:1 + array.size * 2] = np.ascontiguousarray(
+            array.reshape(-1)
+        ).view(np.uint32)
+        out = np.zeros((2, 3), np.int64)
+        desc = MemRefDescriptor.from_numpy(
+            out, board.memory.allocate(out.nbytes, "dst").base
+        )
+        unstage_region_to_memref(board, desc, words, region.base, 4,
+                                 CopyKinds.GENERIC, accumulate=False)
+        assert np.array_equal(out, array)
+
+    def test_sub_word_elements_rejected(self):
+        board, region, words = self.make_board_region()
+        array = np.zeros((4, 4), np.int16)
+        desc = MemRefDescriptor.from_numpy(
+            array, board.memory.allocate(array.nbytes, "src").base
+        )
+        with pytest.raises(ValueError, match="element size"):
+            stage_memref_to_region(board, desc, words, region.base, 0,
+                                   CopyKinds.GENERIC)
+        with pytest.raises(ValueError, match="element size"):
+            unstage_region_to_memref(board, desc, words, region.base, 0,
+                                     CopyKinds.GENERIC, accumulate=False)
 
 
 class TestAxiRuntime:

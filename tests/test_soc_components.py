@@ -55,6 +55,13 @@ class TestAxiStreamFifo:
         with pytest.raises(StreamUnderflow):
             fifo.pop(2)
 
+    def test_pop_zero_words(self):
+        fifo = AxiStreamFifo()
+        assert fifo.pop(0).size == 0  # empty FIFO included
+        fifo.push(np.array([7], dtype=np.int32))
+        assert fifo.pop(0).size == 0
+        assert list(fifo.pop(1)) == [7]
+
     def test_non_word_dtype_rejected(self):
         with pytest.raises(ValueError):
             AxiStreamFifo().push(np.array([1], dtype=np.int64))

@@ -23,7 +23,7 @@ from .accel_config import AcceleratorInfo, CPUInfo
 from .codegen import compile_host_function, emit_function_source
 from .dialects import func, linalg
 from .execution import interpret_function
-from .ir import Module, MemRefType, element_type_from_string
+from .ir import Module, MemRefType, element_type_from_string, parse_module
 from .runtime import AxiRuntime, CALL_STYLE_GENERATED
 from .soc import Board
 from .transforms import CompileError, build_axi4mlir_pipeline
@@ -234,8 +234,22 @@ class AXI4MLIRCompiler:
             else (_GLOBAL_KERNEL_CACHE if use_kernel_cache else None)
 
     # -- generic entry ---------------------------------------------------
-    def compile_module(self, module: Module, func_name: str,
+    def compile_module(self, module, func_name: Optional[str] = None,
                        parameters: Optional[dict] = None) -> CompiledKernel:
+        """Compile a :class:`Module` or textual ``.mlir`` source.
+
+        ``module`` may be an in-memory module or a string of textual IR
+        (as printed by the IR printer / stored in ``tests/filecheck``
+        fixtures).  ``func_name`` defaults to the module's first (and
+        typically only) function.
+        """
+        if isinstance(module, str):
+            module = parse_module(module, verify=True)
+        if func_name is None:
+            functions = module.functions()
+            if not functions:
+                raise CompileError("module defines no func.func to compile")
+            func_name = functions[0].get_attr("sym_name").value
         pipeline = build_axi4mlir_pipeline(
             self.info,
             cpu=self.cpu,

@@ -24,6 +24,7 @@ from typing import Optional, Sequence
 
 from ..ir.builder import Builder
 from ..ir.core import Operation, Value
+from ..ir.parser import register_dialect_op
 from ..ir.types import I32, MemRefType
 from ..ir.verifier import VerificationError, register_verifier
 
@@ -31,14 +32,16 @@ from ..ir.verifier import VerificationError, register_verifier
 RECV_STORE = "store"
 RECV_ACCUMULATE = "accumulate"
 
-ACCEL_OPS = (
-    "accel.dma_init",
-    "accel.send_literal",
-    "accel.send",
-    "accel.send_dim",
-    "accel.send_idx",
-    "accel.flush_send",
-    "accel.recv",
+ACCEL_OPS = tuple(
+    register_dialect_op(name) for name in (
+        "accel.dma_init",
+        "accel.send_literal",
+        "accel.send",
+        "accel.send_dim",
+        "accel.send_idx",
+        "accel.flush_send",
+        "accel.recv",
+    )
 )
 
 #: Ops that participate in a staged send batch.

@@ -4,8 +4,17 @@ from __future__ import annotations
 
 from ..ir.builder import Builder
 from ..ir.core import Operation, Value
+from ..ir.parser import register_dialect_op
 from ..ir.types import FloatType, IndexType, IntegerType, Type, INDEX
-from ..ir.verifier import VerificationError, register_verifier
+from ..ir.verifier import VerificationError, op_diag, register_verifier
+
+#: Ops this dialect re-materializes from textual IR.
+ARITH_OPS = tuple(
+    register_dialect_op(name) for name in (
+        "arith.constant", "arith.addi", "arith.subi", "arith.muli",
+        "arith.minui", "arith.addf", "arith.subf", "arith.mulf",
+    )
+)
 
 
 def constant(b: Builder, value, type: Type = INDEX) -> Value:
@@ -65,10 +74,30 @@ def minui(b: Builder, lhs: Value, rhs: Value) -> Value:
 
 @register_verifier("arith.constant")
 def _verify_constant(op: Operation) -> None:
+    from ..ir.attributes import BoolAttr, FloatAttr, IntegerAttr
+
     if len(op.results) != 1:
-        raise VerificationError("arith.constant must have one result")
-    if "value" not in op.attributes:
-        raise VerificationError("arith.constant requires a 'value' attribute")
+        raise VerificationError(
+            f"{op_diag(op)}: arith.constant must have one result"
+        )
+    value = op.get_attr("value")
+    if value is None:
+        raise VerificationError(
+            f"{op_diag(op)}: arith.constant requires a 'value' attribute"
+        )
+    result_type = op.results[0].type
+    if isinstance(result_type, (IntegerType, IndexType)):
+        if not isinstance(value, (IntegerAttr, BoolAttr)):
+            raise VerificationError(
+                f"{op_diag(op)}: 'value' must be an integer attribute for "
+                f"a {result_type} constant, got {value!r}"
+            )
+    elif isinstance(result_type, FloatType):
+        if not isinstance(value, (FloatAttr, IntegerAttr)):
+            raise VerificationError(
+                f"{op_diag(op)}: 'value' must be a numeric attribute for "
+                f"a {result_type} constant, got {value!r}"
+            )
 
 
 def _verify_int_binary(op: Operation) -> None:

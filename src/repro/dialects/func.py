@@ -6,8 +6,16 @@ from typing import List, Optional, Sequence
 
 from ..ir.builder import Builder, InsertionPoint
 from ..ir.core import Block, Operation, Value, func_entry_block, make_func
+from ..ir.parser import register_dialect_op
 from ..ir.types import Type
 from ..ir.verifier import VerificationError, register_verifier
+
+#: Ops this dialect re-materializes from textual IR.  ``func.func`` uses
+#: the custom ``func.func @name(...) { ... }`` syntax.
+FUNC_OPS = tuple(
+    register_dialect_op(name)
+    for name in ("func.func", "func.return", "func.call")
+)
 
 
 def define(

@@ -19,11 +19,20 @@ from ..ir.affine import (
 from ..ir.attributes import AffineMapAttr, ArrayAttr, StringAttr, unwrap
 from ..ir.builder import Builder, InsertionPoint
 from ..ir.core import Operation, Value
+from ..ir.parser import register_dialect_op
 from ..ir.types import MemRefType
-from ..ir.verifier import VerificationError, register_verifier
+from ..ir.verifier import VerificationError, op_diag, register_verifier
 
 PARALLEL = "parallel"
 REDUCTION = "reduction"
+
+#: Ops this dialect re-materializes from textual IR.
+LINALG_OPS = tuple(
+    register_dialect_op(name) for name in (
+        "linalg.generic", "linalg.matmul", "linalg.conv_2d_nchw_fchw",
+        "linalg.yield",
+    )
+)
 
 
 # ---------------------------------------------------------------------------
@@ -305,12 +314,50 @@ def kernel_name(op: Operation) -> Optional[str]:
     return None
 
 
+def _verify_segment_sizes(op: Operation) -> None:
+    """``operandSegmentSizes`` must be two non-negative ints summing to
+    the operand count — accessors like :func:`inputs` index with it."""
+    from ..ir.attributes import IntegerAttr
+
+    segments = op.get_attr("operandSegmentSizes")
+    if not isinstance(segments, ArrayAttr) or len(segments) != 2 or any(
+        not isinstance(e, IntegerAttr) for e in segments
+    ):
+        raise VerificationError(
+            f"{op_diag(op)}: operandSegmentSizes must be a pair of "
+            f"integers, got {segments!r}"
+        )
+    sizes = [e.value for e in segments]
+    if any(s < 0 for s in sizes) or sum(sizes) != len(op.operands):
+        raise VerificationError(
+            f"{op_diag(op)}: operandSegmentSizes {sizes} do not sum to "
+            f"the {len(op.operands)} operands"
+        )
+
+
+@register_verifier("linalg.matmul")
+@register_verifier("linalg.conv_2d_nchw_fchw")
+def _verify_named_op(op: Operation) -> None:
+    _verify_segment_sizes(op)
+
+
 @register_verifier("linalg.generic")
 def _verify_generic(op: Operation) -> None:
+    _verify_segment_sizes(op)
     maps = indexing_maps(op)
     iters = iterator_types(op)
     if any(i not in (PARALLEL, REDUCTION) for i in iters):
-        raise VerificationError(f"bad iterator types {iters}")
+        raise VerificationError(f"{op_diag(op)}: bad iterator types {iters}")
+    if len(maps) != len(op.operands):
+        raise VerificationError(
+            f"{op_diag(op)}: {len(maps)} indexing maps for "
+            f"{len(op.operands)} operands"
+        )
+    if not maps:
+        raise VerificationError(
+            f"{op_diag(op)}: linalg.generic needs at least one operand "
+            f"and indexing map"
+        )
     num_dims = maps[0].num_dims
     if num_dims != len(iters):
         raise VerificationError(

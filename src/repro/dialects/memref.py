@@ -12,8 +12,17 @@ from typing import Sequence
 from ..ir.attributes import unwrap
 from ..ir.builder import Builder
 from ..ir.core import Operation, Value
+from ..ir.parser import register_dialect_op
 from ..ir.types import DYNAMIC, INDEX, MemRefType, Type
-from ..ir.verifier import VerificationError, register_verifier
+from ..ir.verifier import VerificationError, op_diag, register_verifier
+
+#: Ops this dialect re-materializes from textual IR.
+MEMREF_OPS = tuple(
+    register_dialect_op(name) for name in (
+        "memref.alloc", "memref.dealloc", "memref.subview", "memref.load",
+        "memref.store", "memref.dim", "memref.copy",
+    )
+)
 
 
 def alloc(b: Builder, type: MemRefType) -> Value:
@@ -115,7 +124,21 @@ def _verify_subview(op: Operation) -> None:
         )
     sizes = unwrap(op.get_attr("static_sizes"))
     if sizes is None or len(sizes) != src_type.rank:
-        raise VerificationError("memref.subview static_sizes rank mismatch")
+        raise VerificationError(
+            f"{op_diag(op)}: static_sizes must list one size per source "
+            f"dimension (rank {src_type.rank}), got {sizes!r}"
+        )
+    strides = unwrap(op.get_attr("static_strides"))
+    if strides is None or len(strides) != src_type.rank:
+        raise VerificationError(
+            f"{op_diag(op)}: static_strides must list one stride per "
+            f"source dimension (rank {src_type.rank}), got {strides!r}"
+        )
+    if any(not isinstance(s, int) or s <= 0 for s in strides):
+        raise VerificationError(
+            f"{op_diag(op)}: static_strides entries must be positive "
+            f"integers, got {strides!r}"
+        )
     result_type = op.results[0].type
     if not isinstance(result_type, MemRefType):
         raise VerificationError("memref.subview must produce a memref")
@@ -123,6 +146,30 @@ def _verify_subview(op: Operation) -> None:
         raise VerificationError(
             f"memref.subview result shape {result_type.shape} does not "
             f"match static_sizes {tuple(sizes)}"
+        )
+
+
+@register_verifier("memref.dim")
+def _verify_dim(op: Operation) -> None:
+    from ..ir.attributes import IntegerAttr
+
+    if len(op.operands) != 1:
+        raise VerificationError(f"{op_diag(op)}: takes exactly one operand")
+    ref_type = op.operands[0].type
+    if not isinstance(ref_type, MemRefType):
+        raise VerificationError(
+            f"{op_diag(op)}: operand must be a memref, got {ref_type}"
+        )
+    index = op.get_attr("index")
+    if not isinstance(index, IntegerAttr):
+        raise VerificationError(
+            f"{op_diag(op)}: requires an integer 'index' attribute, "
+            f"got {index!r}"
+        )
+    if not 0 <= index.value < ref_type.rank:
+        raise VerificationError(
+            f"{op_diag(op)}: index {index.value} out of range for "
+            f"rank-{ref_type.rank} memref"
         )
 
 

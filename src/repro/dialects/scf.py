@@ -12,8 +12,16 @@ from typing import Iterator, Optional
 
 from ..ir.builder import Builder, InsertionPoint
 from ..ir.core import Block, Operation, Value
+from ..ir.parser import register_dialect_op
 from ..ir.types import INDEX
 from ..ir.verifier import VerificationError, register_verifier
+
+#: Ops this dialect re-materializes from textual IR.  ``scf.for`` uses the
+#: custom ``scf.for %iv = %lb to %ub step %st { ... }`` syntax; the parser
+#: handles it directly.
+SCF_OPS = tuple(
+    register_dialect_op(name) for name in ("scf.for", "scf.yield")
+)
 
 
 def for_op(b: Builder, lower: Value, upper: Value, step: Value,

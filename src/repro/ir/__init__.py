@@ -35,6 +35,14 @@ from .core import (
     func_entry_block,
     make_func,
 )
+from .parser import (
+    ParseError,
+    parse_module,
+    parse_op,
+    register_dialect_op,
+    registered_ops,
+    roundtrip,
+)
 from .printer import print_module, print_op
 from .types import (
     DYNAMIC,
@@ -66,6 +74,8 @@ __all__ = [
     "Builder", "InsertionPoint",
     "Block", "BlockArgument", "IRError", "Module", "Operation", "OpResult",
     "Region", "Value", "func_entry_block", "make_func",
+    "ParseError", "parse_module", "parse_op", "register_dialect_op",
+    "registered_ops", "roundtrip",
     "print_module", "print_op",
     "DYNAMIC", "F32", "F64", "I1", "I8", "I16", "I32", "I64", "INDEX", "NONE",
     "FloatType", "FunctionType", "IndexType", "IntegerType", "MemRefType",

@@ -52,12 +52,43 @@ class BoolAttr(Attribute):
         return "true" if self.value else "false"
 
 
+#: Escapes applied when printing string attributes; the parser inverts them.
+_STRING_ESCAPES = (("\\", "\\\\"), ('"', '\\"'), ("\n", "\\n"),
+                   ("\t", "\\t"), ("\r", "\\r"))
+
+
+def escape_string(value: str) -> str:
+    """Escape a raw string for the textual IR form."""
+    for raw, escaped in _STRING_ESCAPES:
+        value = value.replace(raw, escaped)
+    return value
+
+
+def unescape_string(value: str) -> str:
+    """Invert :func:`escape_string` (used by the textual parser)."""
+    out = []
+    i = 0
+    while i < len(value):
+        ch = value[i]
+        if ch == "\\" and i + 1 < len(value):
+            nxt = value[i + 1]
+            mapped = {"\\": "\\", '"': '"', "n": "\n",
+                      "t": "\t", "r": "\r"}.get(nxt)
+            if mapped is not None:
+                out.append(mapped)
+                i += 2
+                continue
+        out.append(ch)
+        i += 1
+    return "".join(out)
+
+
 @dataclass(frozen=True)
 class StringAttr(Attribute):
     value: str
 
     def __str__(self) -> str:
-        return f'"{self.value}"'
+        return f'"{escape_string(self.value)}"'
 
 
 @dataclass(frozen=True)

@@ -92,6 +92,9 @@ class Operation:
                 self.attributes[key] = attr(value)
         self.regions: List[Region] = [Region(self) for _ in range(regions)]
         self.parent: Optional[Block] = None
+        #: Source location (``"<file>:<line>"``) when this op was created by
+        #: the textual parser; ``None`` for programmatically built IR.
+        self.location: Optional[str] = None
         for operand in operands:
             self._append_operand(operand)
 

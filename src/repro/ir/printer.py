@@ -47,13 +47,17 @@ def _format_attr_dict(attributes: Dict[str, Attribute],
 
 
 def _print_block(block: Block, scope: _NameScope, lines: List[str],
-                 indent: int, print_args: bool) -> None:
+                 indent: int, index: int) -> None:
     pad = "  " * indent
-    if print_args and block.arguments:
+    if block.arguments:
         args = ", ".join(
             f"{scope.name(a)}: {a.type}" for a in block.arguments
         )
-        lines.append(f"{pad}^bb0({args}):")
+        lines.append(f"{pad}^bb{index}({args}):")
+    elif index > 0:
+        # Argument-less non-entry blocks still need a label so the textual
+        # parser can tell where one block ends and the next begins.
+        lines.append(f"{pad}^bb{index}:")
     for op in block.operations:
         _print_op(op, scope, lines, indent)
 
@@ -61,7 +65,7 @@ def _print_block(block: Block, scope: _NameScope, lines: List[str],
 def _print_region(region: Region, scope: _NameScope, lines: List[str],
                   indent: int) -> None:
     for i, block in enumerate(region.blocks):
-        _print_block(block, scope, lines, indent, print_args=(i > 0 or bool(block.arguments)))
+        _print_block(block, scope, lines, indent, index=i)
 
 
 def _print_op(op: Operation, scope: _NameScope, lines: List[str],

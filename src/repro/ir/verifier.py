@@ -36,6 +36,18 @@ class VerificationError(IRError):
     """Raised when IR invariants are violated."""
 
 
+def op_diag(op: Operation) -> str:
+    """``"<op name> at <location>"`` when the op has a source location.
+
+    Parser-constructed operations carry a ``"<file>:<line>"`` location, so
+    verifier diagnostics can point back into the ``.mlir`` source.
+    """
+    location = getattr(op, "location", None)
+    if location:
+        return f"{op.name} (at {location})"
+    return op.name
+
+
 def _check_use_def(op: Operation) -> None:
     for index, operand in enumerate(op.operands):
         if (op, index) not in operand.uses:

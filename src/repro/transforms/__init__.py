@@ -13,7 +13,14 @@
 """
 
 from .errors import CompileError
-from .pass_manager import Pass, PassManager
+from .pass_manager import (
+    Pass,
+    PassManager,
+    PipelineContext,
+    parse_pass_pipeline,
+    register_pass,
+    registered_passes,
+)
 from .generalize import GeneralizeNamedOpsPass, generalize_named_op
 from .annotate import AnnotateForAcceleratorPass, trait_attributes
 from .flow_analysis import (
@@ -27,7 +34,8 @@ from .lower_to_accel import LowerToAccelPass
 from .pipeline import build_axi4mlir_pipeline
 
 __all__ = [
-    "CompileError", "Pass", "PassManager",
+    "CompileError", "Pass", "PassManager", "PipelineContext",
+    "parse_pass_pipeline", "register_pass", "registered_passes",
     "GeneralizeNamedOpsPass", "generalize_named_op",
     "AnnotateForAcceleratorPass", "trait_attributes",
     "FlowPlacement", "derive_loop_order", "opcode_dependences", "place_flow",

@@ -21,7 +21,7 @@ from ..ir.attributes import attr
 from ..ir.core import Module, Operation
 from ..opcodes import OpcodeFlowAttr, OpcodeMapAttr
 from .errors import CompileError
-from .pass_manager import Pass
+from .pass_manager import Pass, PipelineContext, register_pass
 
 #: Attribute namespace used for all trait entries.
 PREFIX = "accel."
@@ -122,3 +122,17 @@ class AnnotateForAcceleratorPass(Pass):
                 f"no linalg.generic in the module matches kernel "
                 f"{self.info.kernel!r}"
             )
+
+
+@register_pass("annotate")
+def _make_annotate(context: PipelineContext, options: dict) -> Pass:
+    if context.info is None:
+        raise CompileError(
+            "the 'annotate' pass needs an accelerator configuration "
+            "(PipelineContext.info); fixtures declare one with an "
+            "'// ACCEL:' directive"
+        )
+    flow_name = options.get("flow", context.flow_name)
+    return AnnotateForAcceleratorPass(
+        context.info, flow_name=flow_name, permutation=context.permutation
+    )

@@ -8,7 +8,7 @@ from ..ir.builder import Builder, InsertionPoint
 from ..ir.core import Module, Operation
 from ..dialects import linalg
 from .errors import CompileError
-from .pass_manager import Pass
+from .pass_manager import Pass, PipelineContext, register_pass
 
 
 def generalize_named_op(op: Operation) -> Operation:
@@ -58,3 +58,8 @@ class GeneralizeNamedOpsPass(Pass):
         targets = [op for op in module.walk() if op.name in GENERALIZABLE]
         for op in targets:
             generalize_named_op(op)
+
+
+@register_pass("generalize")
+def _make_generalize(context: PipelineContext, options: dict) -> Pass:
+    return GeneralizeNamedOpsPass()

@@ -55,7 +55,7 @@ from .flow_analysis import (
     derive_loop_order,
     place_flow,
 )
-from .pass_manager import Pass
+from .pass_manager import Pass, PipelineContext, option_bool, register_pass
 
 
 @dataclass
@@ -521,3 +521,21 @@ class LowerToAccelPass(Pass):
                 accel.flush_send(b, offset)
 
         open_loops(current_level, group.level, emit_items)
+
+
+@register_pass("lower-to-accel")
+def _make_lower_to_accel(context: PipelineContext, options: dict) -> Pass:
+    cache_bytes = None
+    if context.cpu is not None:
+        cache_bytes = context.cpu.last_level_size
+    if "cache-bytes" in options:
+        try:
+            cache_bytes = int(options["cache-bytes"], 0)
+        except ValueError as error:
+            raise CompileError(
+                f"bad cache-bytes option {options['cache-bytes']!r}"
+            ) from error
+    return LowerToAccelPass(
+        cpu_cache_bytes=cache_bytes,
+        enable_cpu_tiling=option_bool(options, "cpu-tiling", True),
+    )

@@ -1,0 +1,36 @@
+module {
+  func.func @fn0(%arg0: memref<2xi8>, %arg1: i8) {
+    %0 = "arith.constant"() {value = 0} : () -> (index)
+    %1 = "memref.load"(%arg0, %0) : (memref<2xi8>, index) -> (i8)
+    "memref.store"(%1, %arg0, %0) : (i8, memref<2xi8>, index)
+    %2 = "arith.constant"() {value = -40} : () -> (i32)
+    "func.return"()
+  }
+  func.func @fn1(%arg0: memref<6xi8>, %arg1: i8) {
+    %3 = "arith.constant"() {value = 0} : () -> (index)
+    %4 = "memref.load"(%arg0, %3) : (memref<6xi8>, index) -> (i8)
+    "memref.store"(%4, %arg0, %3) : (i8, memref<6xi8>, index)
+    %5 = "arith.constant"() {value = 50, dialect.fcrg0 = index, dqev1 = 3, dialect.jeyo2 = [{sopb0 = "v4\"%4LJpx", nnyd1 = 2899267108357610386}, affine_map<(m, n) -> (10, 14, 2)>]} : () -> (i8)
+    %6 = "arith.constant"() {value = -88, zbhq0 = i32, ocsi1 = [-206.7067296117233]} : () -> (i16)
+    %7 = "arith.constant"() {value = 6} : () -> (index)
+    %8 = "arith.constant"() {value = 1} : () -> (index)
+    scf.for %9 = %3 to %7 step %8 {
+      %10 = "arith.addi"(%5, %5) : (i8, i8) -> (i8)
+      %11 = "arith.constant"() {value = 0} : () -> (index)
+      %12 = "arith.constant"() {value = 4} : () -> (index)
+      %13 = "arith.constant"() {value = 1} : () -> (index)
+      scf.for %14 = %11 to %12 step %13 {
+        %15 = "arith.constant"() {value = 36, pyrp0 = true} : () -> (i32)
+        %16 = "arith.constant"() {value = 39} : () -> (i16)
+        %17 = "arith.constant"() {value = 87} : () -> (i32)
+        %18 = "arith.constant"() {value = 0} : () -> (i32)
+        %19 = "accel.send_literal"(%17, %18) : (i32, i32) -> (i32)
+        %20 = "accel.flush_send"(%19) : (i32) -> (i32)
+        "scf.yield"()
+      }
+      "scf.yield"()
+    }
+    %21 = "arith.constant"() {value = -87.83507102984174} : () -> (f64)
+    "func.return"()
+  }
+}

@@ -1,0 +1,50 @@
+module {
+  func.func @fn0(%arg0: memref<7xi8>, %arg1: i8) {
+    %0 = "arith.constant"() {value = 0} : () -> (index)
+    %1 = "memref.load"(%arg0, %0) : (memref<7xi8>, index) -> (i8)
+    "memref.store"(%1, %arg0, %0) : (i8, memref<7xi8>, index)
+    %2 = "arith.constant"() {value = -19, oiqd0 = 710.0853282824405, dialect.clyu1 = index} : () -> (i64)
+    %3 = "arith.constant"() {value = 5} : () -> (index)
+    %4 = "arith.constant"() {value = 1} : () -> (index)
+    scf.for %5 = %0 to %3 step %4 {
+      %6 = "arith.constant"() {value = 0} : () -> (index)
+      %7 = "arith.constant"() {value = 4} : () -> (index)
+      %8 = "arith.constant"() {value = 1} : () -> (index)
+      scf.for %9 = %6 to %7 step %8 {
+        %10 = "arith.muli"(%2, %2) : (i64, i64) -> (i64)
+        %11 = "arith.constant"() {value = 67} : () -> (i32)
+        %12 = "arith.constant"() {value = 0} : () -> (i32)
+        %13 = "accel.send_literal"(%11, %12) : (i32, i32) -> (i32)
+        %14 = "accel.flush_send"(%13) : (i32) -> (i32)
+        %15 = "arith.constant"() {value = 72} : () -> (i32)
+        %16 = "accel.send_literal"(%15, %12) : (i32, i32) -> (i32)
+        %17 = "accel.flush_send"(%16) : (i32) -> (i32)
+        %18 = "arith.constant"() {value = 252} : () -> (i32)
+        %19 = "accel.send_literal"(%18, %12) : (i32, i32) -> (i32)
+        %20 = "accel.flush_send"(%19) : (i32) -> (i32)
+        "scf.yield"()
+      }
+      %21 = "arith.constant"() {value = 69, dialect.swzh0 = []} : () -> (i64)
+      %22 = "arith.constant"() {value = 55, dialect.cxlj0 = -5, dialect.powp1 = ["Ca15+wb", 98.70654549502088]} : () -> (i16)
+      %23 = "arith.constant"() {value = -5, mwys0 = true, dialect.sdhz1 = {dialect.gkpj0 = 2.0}, agky2 = affine_map<(m, n) -> (11)>} : () -> (i8)
+      "scf.yield"()
+    }
+    %24 = "arith.muli"(%1, %1) : (i8, i8) -> (i8)
+    "func.return"()
+  }
+  func.func @fn1(%arg0: memref<4x1xi64>, %arg1: i64) {
+    %25 = "arith.constant"() {value = 0} : () -> (index)
+    %26 = "memref.load"(%arg0, %25, %25) : (memref<4x1xi64>, index, index) -> (i64)
+    "memref.store"(%26, %arg0, %25, %25) : (i64, memref<4x1xi64>, index, index)
+    %27 = "arith.constant"() {value = 7} : () -> (index)
+    %28 = "arith.constant"() {value = 1} : () -> (index)
+    scf.for %29 = %25 to %27 step %28 {
+      %30 = "arith.constant"() {value = -64} : () -> (i16)
+      "scf.yield"()
+    }
+    %31 = "arith.constant"() {value = -38} : () -> (i64)
+    %32 = "arith.constant"() {value = -94, edae0 = -2.0} : () -> (index)
+    %33 = "arith.subi"(%25, %25) : (index, index) -> (index)
+    "func.return"()
+  }
+}

@@ -1,0 +1,20 @@
+module {
+  func.func @fn0(%arg0: memref<5xi8>, %arg1: i8) {
+    %0 = "arith.constant"() {value = 0} : () -> (index)
+    %1 = "memref.load"(%arg0, %0) : (memref<5xi8>, index) -> (i8)
+    "memref.store"(%1, %arg0, %0) : (i8, memref<5xi8>, index)
+    %2 = "arith.constant"() {value = -43, dialect.pwuy0 = "", hcwt1 = {kjxw0 = 6476985489196681242, dialect.zasy1 = "QT)b{2"}, dialect.nlnb2 = i16} : () -> (index)
+    %3 = "arith.constant"() {value = -30.084845343326606} : () -> (f64)
+    %4 = "arith.constant"() {value = -29, fmik0 = affine_map<(m) -> (m)>} : () -> (i32)
+    %5 = "arith.addf"(%3, %3) : (f64, f64) -> (f64)
+    "func.return"()
+  }
+  func.func @fn1(%arg0: memref<5x3x8xi32>, %arg1: i32) {
+    %6 = "arith.constant"() {value = 0} : () -> (index)
+    %7 = "memref.load"(%arg0, %6, %6, %6) : (memref<5x3x8xi32>, index, index, index) -> (i32)
+    "memref.store"(%7, %arg0, %6, %6, %6) : (i32, memref<5x3x8xi32>, index, index, index)
+    %8 = "arith.subi"(%6, %6) : (index, index) -> (index)
+    %9 = "arith.subi"(%7, %7) : (i32, i32) -> (i32)
+    "func.return"()
+  }
+}

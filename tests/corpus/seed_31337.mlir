@@ -1,0 +1,28 @@
+module {
+  func.func @fn0(%arg0: memref<1x4x3xi32>, %arg1: i32) {
+    %0 = "arith.constant"() {value = 0} : () -> (index)
+    %1 = "memref.load"(%arg0, %0, %0, %0) : (memref<1x4x3xi32>, index, index, index) -> (i32)
+    "memref.store"(%1, %arg0, %0, %0, %0) : (i32, memref<1x4x3xi32>, index, index, index)
+    %2 = "arith.subi"(%arg1, %arg1) : (i32, i32) -> (i32)
+    %3 = "arith.constant"() {value = 1} : () -> (index)
+    scf.for %4 = %0 to %3 step %3 {
+      %5 = "arith.constant"() {value = 29} : () -> (i32)
+      %6 = "arith.constant"() {value = 0} : () -> (i32)
+      %7 = "accel.send_literal"(%5, %6) : (i32, i32) -> (i32)
+      %8 = "accel.flush_send"(%7) : (i32) -> (i32)
+      %9 = "arith.constant"() {value = 46.2394703227821, fsbh0 = affine_map<(m, n) -> (13, 1, 11)>} : () -> (f32)
+      "scf.yield"()
+    }
+    %10 = "arith.constant"() {value = 2} : () -> (index)
+    scf.for %11 = %0 to %10 step %3 {
+      %12 = "arith.constant"() {value = 11} : () -> (i16)
+      "scf.yield"()
+    }
+    %13 = "arith.constant"() {value = 8} : () -> (index)
+    scf.for %14 = %0 to %13 step %3 {
+      %15 = "arith.addi"(%1, %1) : (i32, i32) -> (i32)
+      "scf.yield"()
+    }
+    "func.return"()
+  }
+}

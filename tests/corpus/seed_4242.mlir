@@ -1,0 +1,28 @@
+module {
+  func.func @fn0(%arg0: memref<7xi16>, %arg1: i16) {
+    %0 = "arith.constant"() {value = 0} : () -> (index)
+    %1 = "memref.load"(%arg0, %0) : (memref<7xi16>, index) -> (i16)
+    "memref.store"(%1, %arg0, %0) : (i16, memref<7xi16>, index)
+    %2 = "arith.constant"() {value = -3.023576337162865, dialect.czxp0 = false, picd1 = [{phdt0 = affine_map<(m, n, k, i) -> (k, m, i, n)>}, [], affine_map<(m) -> (13)>], axax2 = "G{2 B2TFu2#a"} : () -> (f32)
+    %3 = "arith.mulf"(%2, %2) : (f32, f32) -> (f32)
+    "func.return"()
+  }
+  func.func @fn1(%arg0: memref<4x8xi8>, %arg1: i8) {
+    %4 = "arith.constant"() {value = 0} : () -> (index)
+    %5 = "memref.load"(%arg0, %4, %4) : (memref<4x8xi8>, index, index) -> (i8)
+    "memref.store"(%5, %arg0, %4, %4) : (i8, memref<4x8xi8>, index, index)
+    %6 = "memref.subview"(%arg0, %4, %4) {static_sizes = [2, 8], static_strides = [1, 1]} : (memref<4x8xi8>, index, index) -> (memref<2x8xi8, strided<[8, 1], offset: ?>>)
+    %7 = "memref.dim"(%arg0) {index = 1} : (memref<4x8xi8>) -> (index)
+    %8 = "arith.constant"() {value = 5} : () -> (index)
+    %9 = "arith.constant"() {value = 1} : () -> (index)
+    scf.for %10 = %4 to %8 step %9 {
+      %11 = "arith.constant"() {value = 180} : () -> (i32)
+      %12 = "arith.constant"() {value = 0} : () -> (i32)
+      %13 = "accel.send_literal"(%11, %12) : (i32, i32) -> (i32)
+      %14 = "accel.flush_send"(%13) : (i32) -> (i32)
+      %15 = "arith.constant"() {value = -62.78830219200422, dialect.evce0 = index} : () -> (f64)
+      "scf.yield"()
+    }
+    "func.return"()
+  }
+}

@@ -1,0 +1,10 @@
+module {
+  func.func @fn0(%arg0: memref<5x1x6xi32>, %arg1: i32) {
+    %0 = "arith.constant"() {value = 0} : () -> (index)
+    %1 = "memref.load"(%arg0, %0, %0, %0) : (memref<5x1x6xi32>, index, index, index) -> (i32)
+    "memref.store"(%1, %arg0, %0, %0, %0) : (i32, memref<5x1x6xi32>, index, index, index)
+    %2 = "arith.constant"() {value = -10, zxyo0 = true} : () -> (i32)
+    %3 = "arith.constant"() {value = -19, bqpl0 = {dialect.lleg0 = {ivvn0 = affine_map<(m, n, k) -> (16, 16, 15)>}, ztpt1 = affine_map<(m, n) -> (1)>}, cvkv1 = false} : () -> (index)
+    "func.return"()
+  }
+}

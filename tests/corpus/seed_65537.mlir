@@ -1,0 +1,37 @@
+module {
+  func.func @fn0(%arg0: memref<5xf32>, %arg1: f32) {
+    %0 = "arith.constant"() {value = 0} : () -> (index)
+    %1 = "memref.load"(%arg0, %0) : (memref<5xf32>, index) -> (f32)
+    "memref.store"(%1, %arg0, %0) : (f32, memref<5xf32>, index)
+    %2 = "arith.constant"() {value = 41.12725199364229, ivfc0 = 8303030517411346606, ocue1 = "mGaL"} : () -> (f64)
+    %3 = "arith.constant"() {value = 4} : () -> (index)
+    %4 = "arith.constant"() {value = 1} : () -> (index)
+    scf.for %5 = %0 to %3 step %4 {
+      %6 = "arith.constant"() {value = 40} : () -> (i32)
+      %7 = "arith.constant"() {value = 0} : () -> (i32)
+      %8 = "accel.send_literal"(%6, %7) : (i32, i32) -> (i32)
+      %9 = "accel.flush_send"(%8) : (i32) -> (i32)
+      %10 = "arith.constant"() {value = 0} : () -> (index)
+      %11 = "arith.constant"() {value = 3} : () -> (index)
+      %12 = "arith.constant"() {value = 1} : () -> (index)
+      scf.for %13 = %10 to %11 step %12 {
+        %14 = "arith.addf"(%2, %2) : (f64, f64) -> (f64)
+        %15 = "arith.constant"() {value = 163} : () -> (i32)
+        %16 = "arith.constant"() {value = 0} : () -> (i32)
+        %17 = "accel.send_literal"(%15, %16) : (i32, i32) -> (i32)
+        %18 = "accel.flush_send"(%17) : (i32) -> (i32)
+        "scf.yield"()
+      }
+      "scf.yield"()
+    }
+    "func.return"()
+  }
+  func.func @fn1(%arg0: memref<7xf32>, %arg1: f32) {
+    %19 = "arith.constant"() {value = 0} : () -> (index)
+    %20 = "memref.load"(%arg0, %19) : (memref<7xf32>, index) -> (f32)
+    "memref.store"(%20, %arg0, %19) : (f32, memref<7xf32>, index)
+    %21 = "arith.constant"() {value = 20.25393388797916, npll0 = affine_map<(m, n, k) -> (m, n, k)>, vuxd1 = [], mxyc2 = 535221533.69100165} : () -> (f32)
+    %22 = "arith.constant"() {value = 6.079803977453537, dialect.dpya0 = -1.0, fnpf1 = "}~"} : () -> (f32)
+    "func.return"()
+  }
+}

@@ -1,0 +1,18 @@
+module {
+  func.func @fn0(%arg0: memref<1x2xi16>, %arg1: i16) {
+    %0 = "arith.constant"() {value = 0} : () -> (index)
+    %1 = "memref.load"(%arg0, %0, %0) : (memref<1x2xi16>, index, index) -> (i16)
+    "memref.store"(%1, %arg0, %0, %0) : (i16, memref<1x2xi16>, index, index)
+    %2 = "memref.subview"(%arg0, %0, %0) {static_sizes = [1, 1], static_strides = [1, 1]} : (memref<1x2xi16>, index, index) -> (memref<1x1xi16, strided<[2, 1], offset: ?>>)
+    %3 = "memref.dim"(%arg0) {index = 0} : (memref<1x2xi16>) -> (index)
+    %4 = "arith.addi"(%arg1, %arg1) : (i16, i16) -> (i16)
+    "func.return"()
+  }
+  func.func @fn1(%arg0: memref<7x1x2xi8>, %arg1: i8) {
+    %5 = "arith.constant"() {value = 0} : () -> (index)
+    %6 = "memref.load"(%arg0, %5, %5, %5) : (memref<7x1x2xi8>, index, index, index) -> (i8)
+    "memref.store"(%6, %arg0, %5, %5, %5) : (i8, memref<7x1x2xi8>, index, index, index)
+    %7 = "arith.subi"(%arg1, %arg1) : (i8, i8) -> (i8)
+    "func.return"()
+  }
+}

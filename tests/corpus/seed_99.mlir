@@ -1,0 +1,28 @@
+module {
+  func.func @fn0(%arg0: memref<3xi64>, %arg1: i64) {
+    %0 = "arith.constant"() {value = 0} : () -> (index)
+    %1 = "memref.load"(%arg0, %0) : (memref<3xi64>, index) -> (i64)
+    "memref.store"(%1, %arg0, %0) : (i64, memref<3xi64>, index)
+    %2 = "arith.muli"(%arg1, %arg1) : (i64, i64) -> (i64)
+    %3 = "arith.subi"(%arg1, %arg1) : (i64, i64) -> (i64)
+    %4 = "arith.constant"() {value = -67.83760823680714, dialect.tfqv0 = 4.737268811752252, ucej1 = [false, "h>B4G(ZqT`8h"], exwt2 = false} : () -> (f64)
+    %5 = "arith.addi"(%arg1, %arg1) : (i64, i64) -> (i64)
+    "func.return"()
+  }
+  func.func @fn1(%arg0: memref<3x3xi16>, %arg1: i16) {
+    %6 = "arith.constant"() {value = 0} : () -> (index)
+    %7 = "memref.load"(%arg0, %6, %6) : (memref<3x3xi16>, index, index) -> (i16)
+    "memref.store"(%7, %arg0, %6, %6) : (i16, memref<3x3xi16>, index, index)
+    %8 = "arith.constant"() {value = 6} : () -> (index)
+    %9 = "arith.constant"() {value = 1} : () -> (index)
+    scf.for %10 = %6 to %8 step %9 {
+      %11 = "arith.constant"() {value = 127} : () -> (i32)
+      %12 = "arith.constant"() {value = 0} : () -> (i32)
+      %13 = "accel.send_literal"(%11, %12) : (i32, i32) -> (i32)
+      %14 = "accel.flush_send"(%13) : (i32) -> (i32)
+      %15 = "arith.addi"(%6, %6) : (index, index) -> (index)
+      "scf.yield"()
+    }
+    "func.return"()
+  }
+}

@@ -1,0 +1,21 @@
+module {
+  func.func @fn0(%arg0: memref<5x6xi8>, %arg1: i8) {
+    %0 = "arith.constant"() {value = 0} : () -> (index)
+    %1 = "memref.load"(%arg0, %0, %0) : (memref<5x6xi8>, index, index) -> (i8)
+    "memref.store"(%1, %arg0, %0, %0) : (i8, memref<5x6xi8>, index, index)
+    %2 = "arith.constant"() {value = 137} : () -> (i32)
+    %3 = "arith.constant"() {value = 0} : () -> (i32)
+    %4 = "accel.send_literal"(%2, %3) : (i32, i32) -> (i32)
+    %5 = "accel.flush_send"(%4) : (i32) -> (i32)
+    %6 = "arith.muli"(%arg1, %arg1) : (i8, i8) -> (i8)
+    "func.return"()
+  }
+  func.func @fn1(%arg0: memref<2x4xi64>, %arg1: i64) {
+    %7 = "arith.constant"() {value = 0} : () -> (index)
+    %8 = "memref.load"(%arg0, %7, %7) : (memref<2x4xi64>, index, index) -> (i64)
+    "memref.store"(%8, %arg0, %7, %7) : (i64, memref<2x4xi64>, index, index)
+    %9 = "arith.muli"(%arg1, %arg1) : (i64, i64) -> (i64)
+    %10 = "arith.constant"() {value = 48, bnos0 = -2002676472} : () -> (i8)
+    "func.return"()
+  }
+}

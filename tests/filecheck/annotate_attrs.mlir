@@ -1,0 +1,24 @@
+// Match-and-annotate (paper Fig. 6a): the accelerator trait attributes
+// are attached to the matched linalg.generic, including the opcode_map
+// and opcode_flow attribute kinds the paper introduces.
+// RUN: generalize,annotate
+// ACCEL: matmul version=3 size=4 flow=As
+
+module {
+  func.func @matmul_call(%arg0: memref<8x8xi32>, %arg1: memref<8x8xi32>, %arg2: memref<8x8xi32>) {
+    "linalg.matmul"(%arg0, %arg1, %arg2) {operandSegmentSizes = [2, 1]} : (memref<8x8xi32>, memref<8x8xi32>, memref<8x8xi32>)
+    "func.return"()
+  }
+}
+
+// The whole trait lands in the generic op's attribute dictionary (one
+// printed line), so the attributes are checked with CHECK-SAME.
+// CHECK: "linalg.generic"(%arg0, %arg1, %arg2)
+// CHECK-SAME: accel.name = "matmul_v3_4"
+// CHECK-SAME: accel.dma_init_config = {id = 0, inputAddress = 1073741824, inputBufferSize = 131072, outputAddress = 1074790400, outputBufferSize = 131072}
+// CHECK-SAME: accel.accel_dim = {m = 4, n = 4, k = 4}
+// CHECK-SAME: accel.opcode_map = opcode_map < sA = [send_literal(0x22), send(0)]
+// CHECK-SAME: accel.opcode_flow = opcode_flow < (sA (sB cC rC)) >
+// CHECK-SAME: accel.flow_name = "As"
+// CHECK-SAME: accel.data_type = i32
+// CHECK-SAME: accel.init_opcodes = opcode_flow < (reset) >

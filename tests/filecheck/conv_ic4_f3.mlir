@@ -1,0 +1,36 @@
+// Convolution offload (paper Fig. 15b): filter-stationary FOs flow on
+// the SECDA-style Conv2D engine.  The init opcodes send the filter and
+// image geometry with accel.send_dim; each output channel's filter is
+// sent once, then the spatial loops stream image slices.
+// RUN: generalize,annotate,lower-to-accel{cpu-tiling=off}
+// ACCEL: conv ic=4 fhw=3
+
+module {
+  func.func @conv_call(%arg0: memref<1x4x8x8xi32>, %arg1: memref<2x4x3x3xi32>, %arg2: memref<1x2x6x6xi32>) {
+    "linalg.conv_2d_nchw_fchw"(%arg0, %arg1, %arg2) {operandSegmentSizes = [2, 1], strides = [1, 1]} : (memref<1x4x8x8xi32>, memref<2x4x3x3xi32>, memref<1x2x6x6xi32>)
+    "func.return"()
+  }
+}
+
+// Init: rst opcode = 32, filter-width dim, 16, image-channel dim.
+// CHECK: "accel.dma_init"
+// CHECK: {value = 32}
+// CHECK: "accel.send_dim"(%arg1
+// CHECK: {value = 16}
+// CHECK: "accel.send_dim"(%arg0
+// CHECK: "accel.flush_send"
+// Outer loop over the 2 output channels sends that channel's filter.
+// CHECK: {value = 2}
+// CHECK: scf.for
+// CHECK: "memref.subview"(%arg1, {{.*}}static_sizes = [1, 4, 3, 3]
+// CHECK-NEXT: "accel.send"
+// CHECK: "accel.flush_send"
+// Spatial loops: batch, then 6x6 output pixels, image slice innermost.
+// CHECK: scf.for
+// CHECK: scf.for
+// CHECK: scf.for
+// CHECK: {value = 70}
+// CHECK: "memref.subview"(%arg0
+// CHECK-NEXT: "accel.send"
+// CHECK: "memref.subview"(%arg2
+// CHECK-NEXT: "accel.recv"

@@ -1,0 +1,24 @@
+// The generalization step alone: named linalg ops are rewritten into
+// linalg.generic with the canonical indexing maps, iterator types, and
+// a multiply-accumulate region (paper Fig. 2a).
+// RUN: generalize
+
+module {
+  func.func @matmul_call(%arg0: memref<8x8xi32>, %arg1: memref<8x8xi32>, %arg2: memref<8x8xi32>) {
+    "linalg.matmul"(%arg0, %arg1, %arg2) {operandSegmentSizes = [2, 1]} : (memref<8x8xi32>, memref<8x8xi32>, memref<8x8xi32>)
+    "func.return"()
+  }
+}
+
+// CHECK: func.func @matmul_call
+// CHECK-NOT: "linalg.matmul"
+// CHECK: "linalg.generic"(%arg0, %arg1, %arg2)
+// CHECK-SAME: indexing_maps = [affine_map<(m, n, k) -> (m, k)>, affine_map<(m, n, k) -> (k, n)>, affine_map<(m, n, k) -> (m, n)>]
+// CHECK-SAME: iterator_types = ["parallel", "parallel", "reduction"]
+// CHECK-NEXT: ({
+// CHECK-NEXT: ^bb0(%{{[0-9]+}}: i32, %{{[0-9]+}}: i32, %{{[0-9]+}}: i32):
+// CHECK: "arith.muli"
+// CHECK-NEXT: "arith.addi"
+// CHECK-NEXT: "linalg.yield"
+// CHECK: })
+// CHECK: "func.return"

@@ -1,0 +1,28 @@
+// CPU cache-hierarchy tiling (paper Fig. 4 step 4): with a CPU config
+// attached, a 256^3 problem gets outer cache loops (step 128) wrapped
+// around the accelerator loops (step 4), six loops in total.
+// RUN: generalize,annotate,lower-to-accel
+// ACCEL: matmul version=3 size=4 flow=Cs
+// CPU: default
+
+module {
+  func.func @matmul_call(%arg0: memref<256x256xi32>, %arg1: memref<256x256xi32>, %arg2: memref<256x256xi32>) {
+    "linalg.matmul"(%arg0, %arg1, %arg2) {operandSegmentSizes = [2, 1]} : (memref<256x256xi32>, memref<256x256xi32>, memref<256x256xi32>)
+    "func.return"()
+  }
+}
+
+// Outer cache loops step by the CPU tile...
+// CHECK: {value = 256}
+// CHECK: {value = 128}
+// CHECK: scf.for %{{[0-9]+}} = %{{[0-9]+}} to %{{[0-9]+}} step %{{[0-9]+}} {
+// CHECK: scf.for
+// CHECK: scf.for
+// ...and the inner accelerator loops step by the 4x4x4 tile, with
+// bounds computed from the enclosing cache-loop induction variable.
+// CHECK: "arith.addi"
+// CHECK: {value = 4}
+// CHECK: scf.for
+// CHECK: "memref.subview"(%arg0, {{.*}}static_sizes = [4, 4]
+// CHECK: "accel.send"
+// CHECK: "accel.recv"

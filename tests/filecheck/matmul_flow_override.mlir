@@ -1,0 +1,26 @@
+// Pass options in the pipeline spec: the accelerator config selects the
+// As flow, but annotate{flow=Bs} overrides it — the lowered code is
+// B-stationary (sB hoisted, A streaming innermost).
+// RUN: generalize,annotate{flow=Bs},lower-to-accel{cpu-tiling=off}
+// ACCEL: matmul version=3 size=4 flow=As
+
+module {
+  func.func @matmul_call(%arg0: memref<8x8xi32>, %arg1: memref<8x8xi32>, %arg2: memref<8x8xi32>) {
+    "linalg.matmul"(%arg0, %arg1, %arg2) {operandSegmentSizes = [2, 1]} : (memref<8x8xi32>, memref<8x8xi32>, memref<8x8xi32>)
+    "func.return"()
+  }
+}
+
+// CHECK: "accel.dma_init"
+// CHECK: scf.for
+// CHECK: scf.for
+// B is sent at the middle level:
+// CHECK: {value = 35}
+// CHECK: "memref.subview"(%arg1
+// CHECK-NEXT: "accel.send"
+// CHECK: scf.for
+// CHECK-NOT: "memref.subview"(%arg1
+// CHECK: {value = 34}
+// CHECK: "memref.subview"(%arg0
+// CHECK-NEXT: "accel.send"
+// CHECK: "accel.recv"({{.*}}) {mode = "accumulate"}

@@ -1,0 +1,28 @@
+// No-stationary MatMul on the version-1 accelerator: no transfer is
+// hoisted — both operand tiles are sent and the output received in the
+// innermost loop (paper Fig. 2b).
+// RUN: generalize,annotate,lower-to-accel{cpu-tiling=off}
+// ACCEL: matmul version=1 size=4 flow=Ns
+
+module {
+  func.func @matmul_call(%arg0: memref<8x8xi32>, %arg1: memref<8x8xi32>, %arg2: memref<8x8xi32>) {
+    "linalg.matmul"(%arg0, %arg1, %arg2) {operandSegmentSizes = [2, 1]} : (memref<8x8xi32>, memref<8x8xi32>, memref<8x8xi32>)
+    "func.return"()
+  }
+}
+
+// CHECK: "accel.dma_init"
+// No tile moves before the innermost loop opens.
+// CHECK: scf.for
+// CHECK-NOT: "accel.send"(
+// CHECK: scf.for
+// CHECK-NOT: "accel.send"(
+// CHECK: scf.for
+// CHECK: {value = 33}
+// CHECK: "memref.subview"(%arg0
+// CHECK-NEXT: "accel.send"
+// CHECK: "memref.subview"(%arg1
+// CHECK-NEXT: "accel.send"
+// CHECK: "accel.flush_send"
+// CHECK: "memref.subview"(%arg2
+// CHECK-NEXT: "accel.recv"({{.*}}) {mode = "accumulate"}

@@ -1,0 +1,29 @@
+// B-stationary MatMul: sB is hoisted one level above sA, so each B tile
+// is transferred once per (n, k) iteration while A streams innermost.
+// RUN: generalize,annotate,lower-to-accel{cpu-tiling=off}
+// ACCEL: matmul version=2 size=4 flow=Bs
+
+module {
+  func.func @matmul_call(%arg0: memref<8x8xi32>, %arg1: memref<8x8xi32>, %arg2: memref<8x8xi32>) {
+    "linalg.matmul"(%arg0, %arg1, %arg2) {operandSegmentSizes = [2, 1]} : (memref<8x8xi32>, memref<8x8xi32>, memref<8x8xi32>)
+    "func.return"()
+  }
+}
+
+// CHECK: "accel.dma_init"
+// CHECK: scf.for
+// CHECK: scf.for
+// B goes out at the middle loop level...
+// CHECK: {value = 35}
+// CHECK: "memref.subview"(%arg1, {{.*}}static_sizes = [4, 4]
+// CHECK-NEXT: "accel.send"
+// ...and the innermost loop only moves A and C.
+// CHECK: scf.for
+// CHECK-NOT: "memref.subview"(%arg1
+// CHECK: {value = 34}
+// CHECK: "memref.subview"(%arg0
+// CHECK-NEXT: "accel.send"
+// CHECK: {value = 38}
+// CHECK: "accel.flush_send"
+// CHECK: "memref.subview"(%arg2
+// CHECK-NEXT: "accel.recv"({{.*}}) {mode = "accumulate"}

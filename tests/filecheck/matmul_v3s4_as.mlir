@@ -1,0 +1,34 @@
+// A-stationary MatMul (paper Fig. 6b): the sA transfer is hoisted into
+// the (m, k) loop level, so each A tile crosses the bus once while the
+// innermost n loop streams B tiles and receives C.
+// RUN: generalize,annotate,lower-to-accel{cpu-tiling=off}
+// ACCEL: matmul version=3 size=4 flow=As
+
+module {
+  func.func @matmul_call(%arg0: memref<8x8xi32>, %arg1: memref<8x8xi32>, %arg2: memref<8x8xi32>) {
+    "linalg.matmul"(%arg0, %arg1, %arg2) {operandSegmentSizes = [2, 1]} : (memref<8x8xi32>, memref<8x8xi32>, memref<8x8xi32>)
+    "func.return"()
+  }
+}
+
+// CHECK: func.func @matmul_call
+// CHECK: "accel.dma_init"({{.*}}) {dma_id = 0}
+// CHECK: {value = 255}
+// CHECK: "accel.send_literal"
+// CHECK: "accel.flush_send"
+// CHECK: scf.for
+// CHECK: scf.for
+// CHECK: {value = 34}
+// CHECK: "memref.subview"(%arg0, {{.*}}static_sizes = [4, 4]
+// CHECK-NEXT: "accel.send"
+// The innermost loop re-sends only B and receives C: A stays put.
+// CHECK: scf.for
+// CHECK-NOT: "memref.subview"(%arg0
+// CHECK: {value = 35}
+// CHECK: "memref.subview"(%arg1
+// CHECK-NEXT: "accel.send"
+// CHECK: {value = 240}
+// CHECK: {value = 36}
+// CHECK: "memref.subview"(%arg2
+// CHECK-NEXT: "accel.recv"({{.*}}) {mode = "accumulate"}
+// CHECK: "func.return"

@@ -1,0 +1,33 @@
+// C-stationary MatMul: the accelerator accumulates across the k loop,
+// so the receive is hoisted out of the innermost loop — C comes back
+// once per (m, n) tile.
+// RUN: generalize,annotate,lower-to-accel{cpu-tiling=off}
+// ACCEL: matmul version=3 size=4 flow=Cs
+
+module {
+  func.func @matmul_call(%arg0: memref<8x8xi32>, %arg1: memref<8x8xi32>, %arg2: memref<8x8xi32>) {
+    "linalg.matmul"(%arg0, %arg1, %arg2) {operandSegmentSizes = [2, 1]} : (memref<8x8xi32>, memref<8x8xi32>, memref<8x8xi32>)
+    "func.return"()
+  }
+}
+
+// CHECK: "accel.dma_init"
+// CHECK: scf.for
+// CHECK: scf.for
+// CHECK: scf.for
+// The innermost (k) loop streams both operands and the cC compute
+// opcode, but never receives:
+// CHECK: {value = 34}
+// CHECK: "memref.subview"(%arg0
+// CHECK-NEXT: "accel.send"
+// CHECK: {value = 35}
+// CHECK: "memref.subview"(%arg1
+// CHECK-NEXT: "accel.send"
+// CHECK: {value = 240}
+// CHECK-NOT: "accel.recv"
+// CHECK: "scf.yield"
+// The receive happens after the k loop closes, once per output tile.
+// CHECK: {value = 36}
+// CHECK: "memref.subview"(%arg2
+// CHECK-NEXT: "accel.recv"({{.*}}) {mode = "accumulate"}
+// CHECK: "scf.yield"

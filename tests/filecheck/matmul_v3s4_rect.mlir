@@ -1,0 +1,25 @@
+// Rectangular problem (m=16, n=12, k=8): every extent divides the 4x4x4
+// accelerator tile, and each loop gets its own trip count.
+// RUN: generalize,annotate,lower-to-accel{cpu-tiling=off}
+// ACCEL: matmul version=3 size=4 flow=As
+
+module {
+  func.func @matmul_call(%arg0: memref<16x8xi32>, %arg1: memref<8x12xi32>, %arg2: memref<16x12xi32>) {
+    "linalg.matmul"(%arg0, %arg1, %arg2) {operandSegmentSizes = [2, 1]} : (memref<16x8xi32>, memref<8x12xi32>, memref<16x12xi32>)
+    "func.return"()
+  }
+}
+
+// A-stationary loop order is (m, k, n): bounds 16, then 8, then 12.
+// CHECK: {value = 16}
+// CHECK: scf.for
+// CHECK: {value = 8}
+// CHECK: scf.for
+// CHECK: "memref.subview"(%arg0, {{.*}}static_sizes = [4, 4]
+// CHECK: memref<4x4xi32, strided<[8, 1], offset: ?>>
+// CHECK: {value = 12}
+// CHECK: scf.for
+// CHECK: "memref.subview"(%arg1, {{.*}}static_sizes = [4, 4]
+// CHECK: memref<4x4xi32, strided<[12, 1], offset: ?>>
+// CHECK: "memref.subview"(%arg2
+// CHECK: memref<4x4xi32, strided<[12, 1], offset: ?>>

@@ -1,0 +1,23 @@
+// Same pipeline at a different tiling: an 8x8x8 accelerator tile over a
+// 16x16x16 problem — loop steps and subview sizes follow the tile.
+// RUN: generalize,annotate,lower-to-accel{cpu-tiling=off}
+// ACCEL: matmul version=3 size=8 flow=Cs
+
+module {
+  func.func @matmul_call(%arg0: memref<16x16xi32>, %arg1: memref<16x16xi32>, %arg2: memref<16x16xi32>) {
+    "linalg.matmul"(%arg0, %arg1, %arg2) {operandSegmentSizes = [2, 1]} : (memref<16x16xi32>, memref<16x16xi32>, memref<16x16xi32>)
+    "func.return"()
+  }
+}
+
+// CHECK: "accel.dma_init"
+// CHECK: {value = 16}
+// CHECK: {value = 8}
+// CHECK: scf.for
+// CHECK: scf.for
+// CHECK: scf.for
+// CHECK: "memref.subview"(%arg0, {{.*}}static_sizes = [8, 8]
+// CHECK: memref<8x8xi32, strided<[16, 1], offset: ?>>
+// CHECK: "memref.subview"(%arg1, {{.*}}static_sizes = [8, 8]
+// CHECK: "memref.subview"(%arg2, {{.*}}static_sizes = [8, 8]
+// CHECK-NEXT: "accel.recv"

@@ -1,0 +1,28 @@
+// Flexible-size (version 4) accelerator: a rectangular 32x16x64 tile is
+// negotiated at init time by sending the tile geometry (0x30 handshake,
+// then dims) before any loop runs.
+// RUN: generalize,annotate,lower-to-accel{cpu-tiling=off}
+// ACCEL: matmul version=4 size=16 flow=Cs accel_size=32x16x64
+
+module {
+  func.func @matmul_call(%arg0: memref<64x64xi32>, %arg1: memref<64x32xi32>, %arg2: memref<64x32xi32>) {
+    "linalg.matmul"(%arg0, %arg1, %arg2) {operandSegmentSizes = [2, 1]} : (memref<64x64xi32>, memref<64x32xi32>, memref<64x32xi32>)
+    "func.return"()
+  }
+}
+
+// Init handshake: literal 0x30, the m/n tile extents, then dim k.
+// CHECK: {value = 48}
+// CHECK: "accel.send_literal"
+// CHECK: {value = 32}
+// CHECK: {value = 16}
+// CHECK: "accel.send_dim"(%arg0
+// CHECK: "accel.flush_send"
+// Host loops step by the flexible tile, and subviews match it.
+// CHECK: scf.for
+// CHECK: scf.for
+// CHECK: "memref.subview"(%arg0, {{.*}}static_sizes = [32, 64]
+// CHECK: memref<32x64xi32, strided<[64, 1], offset: ?>>
+// CHECK: "memref.subview"(%arg1, {{.*}}static_sizes = [64, 16]
+// CHECK: "memref.subview"(%arg2, {{.*}}static_sizes = [32, 16]
+// CHECK-NEXT: "accel.recv"

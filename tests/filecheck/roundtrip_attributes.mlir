@@ -1,0 +1,25 @@
+// Parse/print round-trip of the full attribute zoo: typed and untyped
+// numbers, booleans, escaped strings, nested arrays/dicts, affine maps,
+// and type attributes all survive a trip through the parser.
+// RUN:
+
+module {
+  func.func @attrs() {
+    %0 = "arith.constant"() {value = -7, note = "hi \"there\"\n", flag = true, ratio = 0.5, typed = 12 : i32, seq = [1, 2.5, false, [3, 4]], cfg = {inner = {deep = 9}, name = "x"}, amap = affine_map<(m, n) -> (n, m)>, ty = memref<2x2xi32>, fn = () -> ()} : () -> (index)
+    "func.return"()
+  }
+}
+
+// CHECK: func.func @attrs()
+// CHECK-NEXT: "arith.constant"()
+// CHECK-SAME: value = -7
+// CHECK-SAME: note = "hi \"there\"\n"
+// CHECK-SAME: flag = true
+// CHECK-SAME: ratio = 0.5
+// CHECK-SAME: typed = 12 : i32
+// CHECK-SAME: seq = [1, 2.5, false, [3, 4]]
+// CHECK-SAME: cfg = {inner = {deep = 9}, name = "x"}
+// CHECK-SAME: amap = affine_map<(m, n) -> (n, m)>
+// CHECK-SAME: ty = memref<2x2xi32>
+// CHECK-SAME: fn = () -> ()
+// CHECK-NEXT: "func.return"

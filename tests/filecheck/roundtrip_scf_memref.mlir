@@ -1,0 +1,31 @@
+// Parse/print round-trip (empty pipeline): loops, subviews, loads and
+// stores written by hand re-print in the canonical form.
+// RUN:
+
+module {
+  func.func @kern(%arg0: memref<8x8xf32>) {
+    %0 = "arith.constant"() {value = 0} : () -> (index)
+    %1 = "arith.constant"() {value = 8} : () -> (index)
+    %2 = "arith.constant"() {value = 4} : () -> (index)
+    scf.for %3 = %0 to %1 step %2 {
+      %4 = "memref.subview"(%arg0, %3, %0) {static_sizes = [4, 4], static_strides = [1, 1]} : (memref<8x8xf32>, index, index) -> (memref<4x4xf32, strided<[8, 1], offset: ?>>)
+      %5 = "memref.load"(%4, %0, %0) : (memref<4x4xf32, strided<[8, 1], offset: ?>>, index, index) -> (f32)
+      %6 = "arith.mulf"(%5, %5) : (f32, f32) -> (f32)
+      "memref.store"(%6, %4, %0, %0) : (f32, memref<4x4xf32, strided<[8, 1], offset: ?>>, index, index)
+      "scf.yield"()
+    }
+    "func.return"()
+  }
+}
+
+// CHECK: func.func @kern(%arg0: memref<8x8xf32>)
+// CHECK-NEXT: {value = 0}
+// CHECK: scf.for %{{[0-9]+}} = %{{[0-9]+}} to %{{[0-9]+}} step %{{[0-9]+}} {
+// CHECK-NEXT: "memref.subview"(%arg0
+// CHECK-SAME: strided<[8, 1], offset: ?>
+// CHECK-NEXT: "memref.load"
+// CHECK-NEXT: "arith.mulf"
+// CHECK-NEXT: "memref.store"
+// CHECK-NEXT: "scf.yield"
+// CHECK-NEXT: }
+// CHECK-NEXT: "func.return"

@@ -1,0 +1,20 @@
+module {
+  func.func @accel_ops(%arg0: memref<4x4xi32>) {
+    %0 = "arith.constant"() {value = 0} : () -> (index)
+    %1 = "arith.constant"() {value = 1073741824} : () -> (index)
+    %2 = "arith.constant"() {value = 131072} : () -> (index)
+    %3 = "arith.constant"() {value = 1074790400} : () -> (index)
+    "accel.dma_init"(%0, %1, %2, %3, %2) : (index, index, index, index, index)
+    %4 = "arith.constant"() {value = 0} : () -> (i32)
+    %5 = "arith.constant"() {value = 255} : () -> (i32)
+    %6 = "accel.send_literal"(%5, %4) : (i32, i32) -> (i32)
+    %7 = "accel.send"(%arg0, %6) : (memref<4x4xi32>, i32) -> (i32)
+    %8 = "arith.constant"() {value = 1} : () -> (index)
+    %9 = "accel.send_dim"(%arg0, %8, %7) : (memref<4x4xi32>, index, i32) -> (i32)
+    %10 = "arith.constant"() {value = 3} : () -> (i32)
+    %11 = "accel.send_idx"(%10, %9) : (i32, i32) -> (i32)
+    %12 = "accel.flush_send"(%11) : (i32) -> (i32)
+    "accel.recv"(%arg0, %4) {mode = "accumulate"} : (memref<4x4xi32>, i32)
+    "func.return"()
+  }
+}

@@ -1,0 +1,15 @@
+module {
+  func.func @arith_ops(%arg0: i32, %arg1: i32, %arg2: f32, %arg3: f32) {
+    %0 = "arith.constant"() {value = 0} : () -> (index)
+    %1 = "arith.constant"() {value = 7} : () -> (i32)
+    %2 = "arith.constant"() {value = 0.5} : () -> (f32)
+    %3 = "arith.addi"(%arg0, %arg1) : (i32, i32) -> (i32)
+    %4 = "arith.subi"(%3, %1) : (i32, i32) -> (i32)
+    %5 = "arith.muli"(%4, %arg1) : (i32, i32) -> (i32)
+    %6 = "arith.minui"(%5, %arg0) : (i32, i32) -> (i32)
+    %7 = "arith.addf"(%arg2, %arg3) : (f32, f32) -> (f32)
+    %8 = "arith.subf"(%7, %2) : (f32, f32) -> (f32)
+    %9 = "arith.mulf"(%8, %arg3) : (f32, f32) -> (f32)
+    "func.return"()
+  }
+}

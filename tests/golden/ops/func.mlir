@@ -1,0 +1,10 @@
+module {
+  func.func @double(%arg0: i32) -> i32 {
+    %0 = "arith.addi"(%arg0, %arg0) : (i32, i32) -> (i32)
+    "func.return"(%0) : (i32)
+  }
+  func.func @caller(%arg0: i32) {
+    %1 = "func.call"(%arg0) {callee = "double"} : (i32) -> (i32)
+    "func.return"()
+  }
+}

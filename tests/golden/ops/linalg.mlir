@@ -1,0 +1,14 @@
+module {
+  func.func @linalg_ops(%arg0: memref<8x8xi32>, %arg1: memref<8x8xi32>, %arg2: memref<8x8xi32>, %arg3: memref<1x4x8x8xi32>, %arg4: memref<2x4x3x3xi32>, %arg5: memref<1x2x6x6xi32>) {
+    "linalg.matmul"(%arg0, %arg1, %arg2) {operandSegmentSizes = [2, 1]} : (memref<8x8xi32>, memref<8x8xi32>, memref<8x8xi32>)
+    "linalg.generic"(%arg0, %arg1, %arg2) {indexing_maps = [affine_map<(m, n, k) -> (m, k)>, affine_map<(m, n, k) -> (k, n)>, affine_map<(m, n, k) -> (m, n)>], iterator_types = ["parallel", "parallel", "reduction"], operandSegmentSizes = [2, 1]} : (memref<8x8xi32>, memref<8x8xi32>, memref<8x8xi32>)
+    ({
+      ^bb0(%0: i32, %1: i32, %2: i32):
+      %3 = "arith.muli"(%0, %1) : (i32, i32) -> (i32)
+      %4 = "arith.addi"(%2, %3) : (i32, i32) -> (i32)
+      "linalg.yield"(%4) : (i32)
+    })
+    "linalg.conv_2d_nchw_fchw"(%arg3, %arg4, %arg5) {operandSegmentSizes = [2, 1], strides = [1, 1]} : (memref<1x4x8x8xi32>, memref<2x4x3x3xi32>, memref<1x2x6x6xi32>)
+    "func.return"()
+  }
+}

@@ -1,0 +1,13 @@
+module {
+  func.func @memref_ops(%arg0: memref<8x8xi32>) {
+    %0 = "memref.alloc"() : () -> (memref<4x4xi32>)
+    %1 = "arith.constant"() {value = 0} : () -> (index)
+    %2 = "memref.subview"(%arg0, %1, %1) {static_sizes = [4, 4], static_strides = [1, 1]} : (memref<8x8xi32>, index, index) -> (memref<4x4xi32, strided<[8, 1], offset: ?>>)
+    %3 = "memref.load"(%2, %1, %1) : (memref<4x4xi32, strided<[8, 1], offset: ?>>, index, index) -> (i32)
+    "memref.store"(%3, %0, %1, %1) : (i32, memref<4x4xi32>, index, index)
+    %4 = "memref.dim"(%arg0) {index = 1} : (memref<8x8xi32>) -> (index)
+    "memref.copy"(%2, %0) : (memref<4x4xi32, strided<[8, 1], offset: ?>>, memref<4x4xi32>)
+    "memref.dealloc"(%0) : (memref<4x4xi32>)
+    "func.return"()
+  }
+}

@@ -1,0 +1,16 @@
+module {
+  func.func @scf_ops(%arg0: memref<8xi32>) {
+    %0 = "arith.constant"() {value = 0} : () -> (index)
+    %1 = "arith.constant"() {value = 8} : () -> (index)
+    %2 = "arith.constant"() {value = 1} : () -> (index)
+    scf.for %3 = %0 to %1 step %2 {
+      scf.for %4 = %0 to %1 step %2 {
+        %5 = "memref.load"(%arg0, %4) : (memref<8xi32>, index) -> (i32)
+        "memref.store"(%5, %arg0, %3) : (i32, memref<8xi32>, index)
+        "scf.yield"()
+      }
+      "scf.yield"()
+    }
+    "func.return"()
+  }
+}

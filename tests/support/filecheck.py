@@ -1,0 +1,223 @@
+"""A miniature FileCheck and the ``.mlir`` fixture runner built on it.
+
+Fixture files under ``tests/filecheck/`` drive the whole compiler
+pipeline from text, LLVM-style:
+
+* ``// RUN: <pipeline>`` — a textual pass pipeline for
+  :func:`repro.transforms.parse_pass_pipeline`, e.g.
+  ``generalize,annotate,lower-to-accel{cpu-tiling=off}``.  An empty
+  pipeline (``// RUN:`` alone) makes the fixture a parse/print
+  round-trip test.
+* ``// ACCEL: matmul version=3 size=4 flow=As [accel_size=32x16x64]``
+  or ``// ACCEL: conv ic=4 fhw=3`` — accelerator configuration for the
+  annotate/lower passes, built through the standard catalog factories.
+* ``// CPU: default`` — attach a default :class:`CPUInfo` so the
+  cache-tiling heuristic runs.
+* ``// CHECK:`` / ``// CHECK-NEXT:`` / ``// CHECK-NOT:`` — directives
+  matched against the module printed after the pipeline.
+
+The module source is simply everything in the file: the IR parser skips
+``//`` comments, so directives and IR coexist in one file.  Every
+fixture additionally asserts the parser's print-idempotence contract on
+its own output: ``print(parse(print(m))) == print(m)``.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import List, Optional, Tuple
+
+from repro.ir import parse_module, print_module
+from repro.ir.verifier import verify
+from repro.transforms import parse_pass_pipeline
+
+
+class CheckFailure(AssertionError):
+    """A check directive did not match the pipeline output."""
+
+
+_DIRECTIVE_RE = re.compile(
+    r"//\s*(CHECK(?:-NEXT|-NOT|-SAME)?|RUN|ACCEL|CPU):\s?(.*)$"
+)
+
+
+def parse_directives(source: str) -> List[Tuple[str, str, int]]:
+    """Extract ``(kind, payload, line_number)`` directives from a fixture."""
+    directives = []
+    for number, line in enumerate(source.splitlines(), start=1):
+        match = _DIRECTIVE_RE.search(line)
+        if match:
+            directives.append((match.group(1), match.group(2).strip(),
+                               number))
+    return directives
+
+
+def compile_check_pattern(pattern: str) -> "re.Pattern[str]":
+    """Compile a CHECK pattern: literal text with ``{{...}}`` regex blocks."""
+    parts = []
+    position = 0
+    for match in re.finditer(r"\{\{(.*?)\}\}", pattern):
+        parts.append(re.escape(pattern[position:match.start()]))
+        parts.append(match.group(1))
+        position = match.end()
+    parts.append(re.escape(pattern[position:]))
+    return re.compile("".join(parts))
+
+
+def run_filecheck(output: str, source: str, label: str = "<fixture>") -> None:
+    """Match the CHECK directives of ``source`` against ``output``."""
+    checks = [(kind, payload, line)
+              for kind, payload, line in parse_directives(source)
+              if kind.startswith("CHECK")]
+    if not checks:
+        raise CheckFailure(f"{label}: fixture has no CHECK directives")
+
+    lines = output.splitlines()
+    cursor = 0          # next output line eligible for a CHECK match
+    last_line = -1      # line of the previous CHECK match (for CHECK-SAME)
+    last_end = 0        # column where that match ended
+    pending_not: List[Tuple[str, int]] = []
+
+    def scan_not(upto: int) -> None:
+        for pattern, directive_line in pending_not:
+            regex = compile_check_pattern(pattern)
+            for line in lines[cursor:upto]:
+                if regex.search(line):
+                    raise CheckFailure(
+                        f"{label}:{directive_line}: CHECK-NOT pattern "
+                        f"{pattern!r} found in output line {line!r}"
+                    )
+        pending_not.clear()
+
+    for kind, pattern, directive_line in checks:
+        if kind == "CHECK-NOT":
+            pending_not.append((pattern, directive_line))
+            continue
+        regex = compile_check_pattern(pattern)
+        if kind == "CHECK-SAME":
+            if last_line < 0:
+                raise CheckFailure(
+                    f"{label}:{directive_line}: CHECK-SAME without a "
+                    f"preceding CHECK"
+                )
+            match = regex.search(lines[last_line], last_end)
+            if not match:
+                raise CheckFailure(
+                    f"{label}:{directive_line}: CHECK-SAME {pattern!r} not "
+                    f"found after column {last_end} of matched line "
+                    f"{lines[last_line]!r}"
+                )
+            last_end = match.end()
+            continue
+        if kind == "CHECK-NEXT":
+            match = regex.search(lines[cursor]) if cursor < len(lines) \
+                else None
+            if match is None:
+                got = lines[cursor] if cursor < len(lines) else "<eof>"
+                raise CheckFailure(
+                    f"{label}:{directive_line}: CHECK-NEXT {pattern!r} "
+                    f"does not match next line {got!r}"
+                )
+            scan_not(cursor)
+            last_line, last_end = cursor, match.end()
+            cursor += 1
+            continue
+        # Plain CHECK: first match at or after the cursor.
+        for index in range(cursor, len(lines)):
+            match = regex.search(lines[index])
+            if match:
+                scan_not(index)
+                last_line, last_end = index, match.end()
+                cursor = index + 1
+                break
+        else:
+            raise CheckFailure(
+                f"{label}:{directive_line}: CHECK pattern {pattern!r} not "
+                f"found after output line {cursor}\n--- output ---\n{output}"
+            )
+    scan_not(len(lines))
+
+
+# ---------------------------------------------------------------------------
+# Fixture running
+# ---------------------------------------------------------------------------
+
+
+def _parse_kv(payload: str) -> Tuple[str, dict]:
+    """``"matmul version=3 size=4"`` -> ``("matmul", {...})``."""
+    parts = payload.split()
+    if not parts:
+        raise CheckFailure("empty ACCEL directive")
+    options = {}
+    for item in parts[1:]:
+        if "=" not in item:
+            raise CheckFailure(f"malformed ACCEL option {item!r}")
+        key, value = item.split("=", 1)
+        options[key] = value
+    return parts[0], options
+
+
+def build_accelerator_info(payload: str):
+    """Build an :class:`AcceleratorInfo` from an ``// ACCEL:`` directive."""
+    from repro.accelerators import make_conv_system, make_matmul_system
+
+    kind, options = _parse_kv(payload)
+    if kind == "matmul":
+        accel_size = None
+        if "accel_size" in options:
+            accel_size = tuple(
+                int(v) for v in options["accel_size"].split("x")
+            )
+        _, info = make_matmul_system(
+            version=int(options.get("version", 3)),
+            size=int(options.get("size", 4)),
+            flow=options.get("flow", "Ns"),
+            accel_size=accel_size,
+        )
+        return info
+    if kind == "conv":
+        _, info = make_conv_system(
+            ic=int(options.get("ic", 4)),
+            fhw=int(options.get("fhw", 3)),
+        )
+        return info
+    raise CheckFailure(f"unknown ACCEL kind {kind!r}")
+
+
+def run_fixture(path: Path) -> str:
+    """Run one ``.mlir`` fixture end to end; returns the printed output."""
+    source = path.read_text()
+    directives = parse_directives(source)
+    run_specs = [payload for kind, payload, _ in directives if kind == "RUN"]
+    if not run_specs:
+        raise CheckFailure(f"{path.name}: fixture has no // RUN: directive")
+
+    info = None
+    cpu = None
+    for kind, payload, _ in directives:
+        if kind == "ACCEL":
+            info = build_accelerator_info(payload)
+        elif kind == "CPU":
+            from repro.accel_config import CPUInfo
+
+            cpu = CPUInfo()
+
+    module = parse_module(source, filename=path.name, verify=True)
+    for spec in run_specs:
+        pipeline = parse_pass_pipeline(spec, info=info, cpu=cpu)
+        pipeline.run(module)
+
+    output = print_module(module)
+
+    # Print-idempotence contract on the pipeline output, for free.
+    reparsed = parse_module(output, filename=f"{path.name}:<output>")
+    verify(reparsed.op)
+    if print_module(reparsed) != output:
+        raise CheckFailure(
+            f"{path.name}: pipeline output does not round-trip through "
+            f"the textual parser"
+        )
+
+    run_filecheck(output, source, label=path.name)
+    return output

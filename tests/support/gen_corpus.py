@@ -1,0 +1,42 @@
+"""Regenerate the pinned parser-regression corpus under ``tests/corpus/``.
+
+Run from the repo root after an intentional printer/parser syntax
+change::
+
+    PYTHONPATH=src:tests python -m support.gen_corpus
+
+The seeds are pinned so the corpus is reproducible; the property tests
+assert the committed files match the generator byte for byte.
+"""
+
+from __future__ import annotations
+
+import random
+from pathlib import Path
+
+CORPUS_SEEDS = (7, 99, 1234, 4242, 31337, 65537, 424242, 999983,
+                20260727, 2**31 - 1)
+
+CORPUS_DIR = Path(__file__).resolve().parent.parent / "corpus"
+
+
+def main() -> None:
+    from repro.ir import print_module
+    from repro.ir.verifier import verify
+
+    from .irgen import random_module
+
+    CORPUS_DIR.mkdir(exist_ok=True)
+    for stale in CORPUS_DIR.glob("seed_*.mlir"):
+        stale.unlink()
+    for seed in CORPUS_SEEDS:
+        module = random_module(random.Random(seed))
+        verify(module.op)
+        text = print_module(module) + "\n"
+        path = CORPUS_DIR / f"seed_{seed}.mlir"
+        path.write_text(text)
+        print(f"wrote {path.name}: {len(text.splitlines())} lines")
+
+
+if __name__ == "__main__":
+    main()

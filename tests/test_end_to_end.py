@@ -144,3 +144,31 @@ def test_property_conv_offload_matches_reference(in_ch, f_hw, out_ch,
     out = np.zeros_like(expected)
     kernel.run(board, image, weights, out)
     assert np.array_equal(out, expected)
+
+
+class TestExamplesSmoke:
+    def test_ir_and_codegen_tour_runs(self):
+        """The tour example (including the textual-IR section) must stay
+        runnable: it doubles as executable documentation."""
+        import os
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        repo = Path(__file__).resolve().parent.parent
+        env = dict(os.environ)
+        src = str(repo / "src")
+        env["PYTHONPATH"] = src + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        result = subprocess.run(
+            [sys.executable, str(repo / "examples" / "ir_and_codegen_tour.py")],
+            capture_output=True, text=True, timeout=120, env=env,
+            cwd=str(repo),
+        )
+        assert result.returncode == 0, (
+            f"tour example failed\n--- stdout ---\n{result.stdout}"
+            f"\n--- stderr ---\n{result.stderr}"
+        )
+        assert "print(parse(print(m))) == print(m) holds" in result.stdout
+        assert "computes the same C = A @ B" in result.stdout

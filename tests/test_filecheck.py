@@ -1,0 +1,92 @@
+"""Golden-file pipeline tests: run every ``tests/filecheck/*.mlir``
+fixture through its ``// RUN:`` pipeline and match ``// CHECK:``
+directives against the printed output.
+
+Also unit-tests the miniature FileCheck engine itself, and guards
+against silent test-discovery regressions: the suite fails if fixtures
+on disk stop being collected.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from support.filecheck import (
+    CheckFailure,
+    build_accelerator_info,
+    compile_check_pattern,
+    run_filecheck,
+    run_fixture,
+)
+
+FIXTURE_DIR = Path(__file__).resolve().parent / "filecheck"
+FIXTURES = sorted(FIXTURE_DIR.glob("*.mlir"))
+
+#: The pipeline fixtures this PR ships with; grows with the suite.
+MIN_FIXTURES = 10
+
+
+def test_every_fixture_on_disk_is_collected():
+    """Each .mlir file must appear exactly once in the parametrization."""
+    assert len(FIXTURES) >= MIN_FIXTURES, (
+        f"only {len(FIXTURES)} fixtures collected from {FIXTURE_DIR}; "
+        f"expected at least {MIN_FIXTURES}"
+    )
+    names = [p.name for p in FIXTURES]
+    assert len(names) == len(set(names))
+
+
+@pytest.mark.parametrize("path", FIXTURES, ids=lambda p: p.stem)
+def test_fixture(path):
+    run_fixture(path)
+
+
+class TestCheckEngine:
+    def test_plain_check_matches_in_order(self):
+        run_filecheck("a\nb\nc", "// CHECK: a\n// CHECK: c")
+
+    def test_out_of_order_fails(self):
+        with pytest.raises(CheckFailure, match="not"):
+            run_filecheck("a\nb", "// CHECK: b\n// CHECK: a")
+
+    def test_check_next_requires_adjacency(self):
+        run_filecheck("a\nb", "// CHECK: a\n// CHECK-NEXT: b")
+        with pytest.raises(CheckFailure, match="CHECK-NEXT"):
+            run_filecheck("a\nx\nb", "// CHECK: a\n// CHECK-NEXT: b")
+
+    def test_check_not_scans_the_gap(self):
+        run_filecheck("a\nx\nb", "// CHECK: a\n// CHECK-NOT: y\n// CHECK: b")
+        with pytest.raises(CheckFailure, match="CHECK-NOT"):
+            run_filecheck("a\nx\nb",
+                          "// CHECK: a\n// CHECK-NOT: x\n// CHECK: b")
+
+    def test_trailing_check_not_scans_to_eof(self):
+        with pytest.raises(CheckFailure, match="CHECK-NOT"):
+            run_filecheck("a\nz", "// CHECK: a\n// CHECK-NOT: z")
+
+    def test_check_same_stays_on_the_matched_line(self):
+        run_filecheck("a b c\nd", "// CHECK: a\n// CHECK-SAME: c")
+        with pytest.raises(CheckFailure, match="CHECK-SAME"):
+            run_filecheck("a b\nc", "// CHECK: a\n// CHECK-SAME: c")
+
+    def test_check_same_advances_within_the_line(self):
+        with pytest.raises(CheckFailure, match="CHECK-SAME"):
+            run_filecheck("b a", "// CHECK: a\n// CHECK-SAME: b")
+
+    def test_regex_blocks(self):
+        pattern = compile_check_pattern("step %{{[0-9]+}} {")
+        assert pattern.search("scf.for %1 = %0 to %9 step %42 {")
+        assert not pattern.search("step %x {")
+
+    def test_no_checks_is_an_error(self):
+        with pytest.raises(CheckFailure, match="no CHECK"):
+            run_filecheck("a", "// just a comment")
+
+    def test_accel_directive_builders(self):
+        info = build_accelerator_info("matmul version=3 size=4 flow=As")
+        assert info.kernel == "linalg.matmul"
+        assert info.accel_size == (4, 4, 4)
+        conv = build_accelerator_info("conv ic=4 fhw=3")
+        assert conv.kernel == "linalg.conv_2d_nchw_fchw"
+        with pytest.raises(CheckFailure, match="unknown ACCEL"):
+            build_accelerator_info("fft size=4")

@@ -15,7 +15,7 @@ from repro.ir import (
 )
 from repro.ir.attributes import IntegerAttr, StringAttr, unwrap
 from repro.ir.core import func_entry_block
-from repro.ir.types import F32, I32, INDEX
+from repro.ir.types import F32, I32, INDEX, MemRefType
 from repro.dialects import arith, func, scf
 
 
@@ -206,3 +206,121 @@ class TestAttrHelper:
     def test_unsupported_type_rejected(self):
         with pytest.raises(TypeError):
             attr(object())
+
+
+class TestVerifierHardening:
+    """Malformed attribute dictionaries surfaced by parser-built modules.
+
+    Each case is written as textual IR so the diagnostics can be checked
+    end to end: the error must name the op *and* its source location.
+    """
+
+    def _parse_verified(self, body: str):
+        from repro.ir import parse_module
+
+        text = ("module {\n"
+                "  func.func @f(%arg0: memref<8x8xi32>) {\n"
+                f"{body}"
+                '    "func.return"()\n'
+                "  }\n"
+                "}")
+        return parse_module(text, filename="hardening.mlir", verify=True)
+
+    def test_subview_missing_static_strides(self):
+        with pytest.raises(VerificationError,
+                           match=r"memref\.subview \(at hardening\.mlir:4\):"
+                                 r" static_strides"):
+            self._parse_verified(
+                '    %0 = "arith.constant"() {value = 0} : () -> (index)\n'
+                '    %1 = "memref.subview"(%arg0, %0, %0) '
+                "{static_sizes = [4, 4]} : (memref<8x8xi32>, index, index)"
+                " -> (memref<4x4xi32, strided<[8, 1], offset: ?>>)\n"
+            )
+
+    def test_subview_wrong_rank_static_strides(self):
+        with pytest.raises(VerificationError,
+                           match=r"memref\.subview \(at hardening\.mlir:4\):"
+                                 r" static_strides"):
+            self._parse_verified(
+                '    %0 = "arith.constant"() {value = 0} : () -> (index)\n'
+                '    %1 = "memref.subview"(%arg0, %0, %0) '
+                "{static_sizes = [4, 4], static_strides = [1]} : "
+                "(memref<8x8xi32>, index, index)"
+                " -> (memref<4x4xi32, strided<[8, 1], offset: ?>>)\n"
+            )
+
+    def test_generic_missing_operand_segment_sizes(self):
+        with pytest.raises(VerificationError,
+                           match=r"linalg\.matmul \(at hardening\.mlir:3\):"
+                                 r" operandSegmentSizes"):
+            self._parse_verified(
+                '    "linalg.matmul"(%arg0, %arg0, %arg0) : '
+                "(memref<8x8xi32>, memref<8x8xi32>, memref<8x8xi32>)\n"
+            )
+
+    def test_generic_segment_sizes_do_not_sum(self):
+        with pytest.raises(VerificationError,
+                           match=r"linalg\.matmul \(at hardening\.mlir:3\):"
+                                 r" operandSegmentSizes \[2, 5\]"):
+            self._parse_verified(
+                '    "linalg.matmul"(%arg0, %arg0, %arg0) '
+                "{operandSegmentSizes = [2, 5]} : "
+                "(memref<8x8xi32>, memref<8x8xi32>, memref<8x8xi32>)\n"
+            )
+
+    def test_generic_indexing_map_count_mismatch(self):
+        from repro.dialects import linalg
+        from repro.ir import Module, make_func, verify as _
+
+        module = Module()
+        f = module.add_function(make_func(
+            "g", [MemRefType((8, 8), I32)] * 3
+        ))
+        b = Builder(InsertionPoint.at_end(func_entry_block(f)))
+        a, rhs, out = func_entry_block(f).arguments
+        op = linalg.generic(b, linalg.matmul_maps(),
+                            linalg.MATMUL_ITERATORS, [a, rhs], [out])
+        maps = op.get_attr("indexing_maps")
+        op.set_attr("indexing_maps", type(maps)(maps.elements[:2]))
+        func.ret(b)
+        with pytest.raises(VerificationError,
+                           match=r"linalg\.generic: 2 indexing maps for "
+                                 r"3 operands"):
+            verify(module.op)
+
+    def test_dim_index_out_of_range(self):
+        with pytest.raises(VerificationError,
+                           match=r"memref\.dim \(at hardening\.mlir:3\): "
+                                 r"index 5 out of range"):
+            self._parse_verified(
+                '    %0 = "memref.dim"(%arg0) {index = 5} : '
+                "(memref<8x8xi32>) -> (index)\n"
+            )
+
+    def test_dim_index_missing(self):
+        with pytest.raises(VerificationError,
+                           match=r"memref\.dim \(at hardening\.mlir:3\): "
+                                 r"requires an integer 'index'"):
+            self._parse_verified(
+                '    %0 = "memref.dim"(%arg0) : '
+                "(memref<8x8xi32>) -> (index)\n"
+            )
+
+    def test_constant_value_kind_must_match_result(self):
+        with pytest.raises(VerificationError,
+                           match=r"arith\.constant \(at hardening\.mlir:3\):"
+                                 r" 'value' must be an integer"):
+            self._parse_verified(
+                '    %0 = "arith.constant"() {value = "NaN"} : '
+                "() -> (i32)\n"
+            )
+
+    def test_programmatic_ops_report_without_location(self):
+        op = Operation("memref.dim", result_types=[INDEX])
+        buffer = Operation("memref.alloc",
+                           result_types=[MemRefType((4,), I32)])
+        use = Operation("memref.dim", operands=[buffer.results[0]],
+                        result_types=[INDEX])
+        del op
+        with pytest.raises(VerificationError, match=r"^memref\.dim: "):
+            verify(use)

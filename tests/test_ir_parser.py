@@ -1,0 +1,344 @@
+"""Tests for the textual IR parser: the print-idempotence contract
+swept across every module the pipeline can produce, precise parse
+errors, and compiling straight from ``.mlir`` text."""
+
+import numpy as np
+import pytest
+
+from repro.accel_config import CPUInfo
+from repro.accelerators import make_conv_system, make_matmul_system
+from repro.compiler import AXI4MLIRCompiler, build_conv_module, build_matmul_module
+from repro.ir import ParseError, parse_module, parse_op, print_module
+from repro.ir.parser import registered_ops, tokenize
+from repro.ir.verifier import VerificationError, verify
+from repro.soc import make_pynq_z2
+from repro.transforms import parse_pass_pipeline
+from repro.transforms.errors import CompileError
+
+
+def assert_fixpoint(module):
+    """The acceptance contract: ``print(parse(print(m))) == print(m)``."""
+    first = print_module(module)
+    reparsed = parse_module(first)
+    verify(reparsed.op)
+    second = print_module(reparsed)
+    assert second == first
+    return reparsed
+
+
+MATMUL_CONFIGS = [
+    (1, 4, "Ns", None, (8, 8, 8)),
+    (2, 4, "Bs", None, (8, 8, 8)),
+    (3, 4, "As", None, (16, 12, 8)),
+    (3, 8, "Cs", None, (16, 16, 16)),
+    (4, 16, "Cs", (32, 16, 64), (64, 32, 64)),
+]
+
+
+class TestRoundTripSweep:
+    """print∘parse∘print == print at every stage, for every config."""
+
+    @pytest.mark.parametrize("version,size,flow,accel_size,shape",
+                             MATMUL_CONFIGS)
+    def test_matmul_all_stages(self, version, size, flow, accel_size, shape):
+        _, info = make_matmul_system(version=version, size=size, flow=flow,
+                                     accel_size=accel_size)
+        m, n, k = shape
+        module = build_matmul_module(m, n, k, info.data_type)
+        assert_fixpoint(module)
+
+        parse_pass_pipeline("generalize", info=info).run(module)
+        assert_fixpoint(module)
+
+        parse_pass_pipeline("annotate", info=info).run(module)
+        assert_fixpoint(module)
+
+        parse_pass_pipeline("lower-to-accel{cpu-tiling=off}",
+                            info=info).run(module)
+        assert_fixpoint(module)
+
+    def test_matmul_with_cpu_tiling(self):
+        _, info = make_matmul_system(version=3, size=4, flow="Cs")
+        module = build_matmul_module(256, 256, 256, info.data_type)
+        parse_pass_pipeline("generalize,annotate,lower-to-accel",
+                            info=info, cpu=CPUInfo()).run(module)
+        assert_fixpoint(module)
+
+    def test_conv_all_stages(self):
+        _, info = make_conv_system(4, 3)
+        module = build_conv_module(1, 4, 8, 2, 3, 1, info.data_type)
+        assert_fixpoint(module)
+        parse_pass_pipeline("generalize,annotate,lower-to-accel{cpu-tiling=off}",
+                            info=info).run(module)
+        assert_fixpoint(module)
+
+    def test_float_matmul(self):
+        _, info = make_matmul_system(version=3, size=4, flow="Cs",
+                                     dtype=np.float32)
+        module = build_matmul_module(8, 8, 8, info.data_type)
+        parse_pass_pipeline("generalize,annotate,lower-to-accel{cpu-tiling=off}",
+                            info=info).run(module)
+        assert_fixpoint(module)
+
+
+class TestParserBasics:
+    def test_parse_without_module_wrapper(self):
+        module = parse_module(
+            'func.func @f() {\n  "func.return"()\n}'
+        )
+        assert [func.get_attr("sym_name").value
+                for func in module.functions()] == ["f"]
+
+    def test_comments_and_directives_are_skipped(self):
+        module = parse_module(
+            "// RUN: generalize\nmodule {\n"
+            "  // CHECK: nothing\n"
+            '  func.func @f() {\n    "func.return"()\n  }\n}'
+        )
+        assert len(module.functions()) == 1
+
+    def test_ssa_names_are_per_function(self):
+        # Both functions use %arg0; scoping keeps them apart.
+        module = parse_module(
+            "module {\n"
+            '  func.func @f(%arg0: i32) {\n    "func.return"()\n  }\n'
+            '  func.func @g(%arg0: f32) {\n    "func.return"()\n  }\n'
+            "}"
+        )
+        f, g = module.functions()
+        assert str(f.regions[0].entry_block.arguments[0].type) == "i32"
+        assert str(g.regions[0].entry_block.arguments[0].type) == "f32"
+
+    def test_locations_attached(self):
+        module = parse_module(
+            'module {\n  func.func @f() {\n    "func.return"()\n  }\n}',
+            filename="fixture.mlir",
+        )
+        func_op = module.functions()[0]
+        assert func_op.location == "fixture.mlir:2"
+        assert func_op.regions[0].entry_block.operations[0].location \
+            == "fixture.mlir:3"
+
+    def test_parse_op_single_function(self):
+        op = parse_op('func.func @solo() {\n  "func.return"()\n}')
+        assert op.name == "func.func"
+
+    def test_undefined_value_is_an_error(self):
+        with pytest.raises(ParseError, match="undefined value %x"):
+            parse_module(
+                'module {\n  func.func @f() {\n'
+                '    "accel.flush_send"(%x) : (i32) -> (i32)\n'
+                '    "func.return"()\n  }\n}'
+            )
+
+    def test_unregistered_op_is_an_error(self):
+        text = ('module {\n  func.func @f() {\n'
+                '    "nosuch.op"()\n    "func.return"()\n  }\n}')
+        with pytest.raises(ParseError, match="unregistered operation"):
+            parse_module(text)
+        module = parse_module(text, allow_unregistered=True)
+        assert module.functions()[0].regions[0].entry_block.operations[0] \
+            .name == "nosuch.op"
+
+    def test_operand_type_mismatch_is_an_error(self):
+        with pytest.raises(ParseError, match="type clause says f32"):
+            parse_module(
+                'module {\n  func.func @f(%arg0: i32) {\n'
+                '    %0 = "arith.addf"(%arg0, %arg0) : (f32, f32) -> (f32)\n'
+                '    "func.return"()\n  }\n}'
+            )
+
+    def test_result_count_mismatch_is_an_error(self):
+        with pytest.raises(ParseError, match="result names"):
+            parse_module(
+                'module {\n  func.func @f() {\n'
+                '    %0, %1 = "arith.constant"() {value = 1} : () -> (index)\n'
+                '    "func.return"()\n  }\n}'
+            )
+
+    def test_error_message_carries_file_line_col(self):
+        with pytest.raises(ParseError, match=r"bad\.mlir:3:"):
+            parse_module(
+                'module {\n  func.func @f() {\n    "weird\n  }\n}',
+                filename="bad.mlir",
+            )
+
+    def test_scoping_blocks_forward_references(self):
+        # %5 is only defined inside the loop; using it after is an error.
+        with pytest.raises(ParseError, match="undefined value"):
+            parse_module(
+                "module {\n"
+                '  func.func @f() {\n'
+                '    %0 = "arith.constant"() {value = 0} : () -> (index)\n'
+                '    %1 = "arith.constant"() {value = 4} : () -> (index)\n'
+                "    scf.for %2 = %0 to %1 step %1 {\n"
+                '      %3 = "arith.constant"() {value = 1} : () -> (i32)\n'
+                '      "scf.yield"()\n'
+                "    }\n"
+                '    "accel.flush_send"(%3) : (i32) -> (i32)\n'
+                '    "func.return"()\n  }\n}'
+            )
+
+    def test_tokenizer_rejects_garbage(self):
+        with pytest.raises(ParseError, match="unexpected character"):
+            tokenize("module { ; }")
+
+    def test_verify_flag_runs_the_verifier(self):
+        # Well-formed syntax, malformed op: scf.for bounds must be index.
+        text = (
+            "module {\n"
+            '  func.func @f() {\n'
+            '    %0 = "arith.constant"() {value = 0} : () -> (i32)\n'
+            "    scf.for %1 = %0 to %0 step %0 {\n"
+            '      "scf.yield"()\n'
+            "    }\n"
+            '    "func.return"()\n  }\n}'
+        )
+        parse_module(text)  # syntax alone is fine
+        with pytest.raises(VerificationError, match="scf.for"):
+            parse_module(text, verify=True)
+
+    def test_registry_lists_core_ops(self):
+        ops = registered_ops()
+        for name in ("arith.constant", "memref.subview", "scf.for",
+                     "func.func", "linalg.generic", "accel.recv"):
+            assert name in ops
+        assert registered_ops("accel") == sorted(
+            op for op in ops if op.startswith("accel.")
+        )
+
+
+class TestPipelineSpecs:
+    def test_unknown_pass_name(self):
+        with pytest.raises(CompileError, match="unknown pass"):
+            parse_pass_pipeline("no-such-pass")
+
+    def test_annotate_requires_accelerator(self):
+        with pytest.raises(CompileError, match="accelerator configuration"):
+            parse_pass_pipeline("annotate")
+
+    def test_malformed_option(self):
+        _, info = make_matmul_system(version=3, size=4)
+        with pytest.raises(CompileError, match="boolean"):
+            parse_pass_pipeline("lower-to-accel{cpu-tiling=maybe}",
+                                info=info)
+
+    def test_empty_spec_is_an_empty_pipeline(self):
+        pm = parse_pass_pipeline("")
+        assert pm.passes == []
+
+
+class TestCompileFromText:
+    MATMUL_TEXT = """
+    module {
+      func.func @matmul_call(%arg0: memref<8x8xi32>, %arg1: memref<8x8xi32>, %arg2: memref<8x8xi32>) {
+        "linalg.matmul"(%arg0, %arg1, %arg2) {operandSegmentSizes = [2, 1]} : (memref<8x8xi32>, memref<8x8xi32>, memref<8x8xi32>)
+        "func.return"()
+      }
+    }
+    """
+
+    def test_textual_module_compiles_and_runs(self, rng):
+        hardware, info = make_matmul_system(version=3, size=4, flow="As")
+        compiler = AXI4MLIRCompiler(info, enable_cpu_tiling=False,
+                                    use_kernel_cache=False)
+        kernel = compiler.compile_module(self.MATMUL_TEXT)
+        assert kernel.func_name == "matmul_call"
+
+        board = make_pynq_z2()
+        board.attach_accelerator(hardware)
+        a = rng.integers(-8, 8, (8, 8)).astype(np.int32)
+        b = rng.integers(-8, 8, (8, 8)).astype(np.int32)
+        c = np.zeros((8, 8), np.int32)
+        kernel.run(board, a, b, c)
+        assert np.array_equal(c, a @ b)
+
+    def test_func_name_defaults_to_first_function(self):
+        _, info = make_matmul_system(version=3, size=4, flow="As")
+        compiler = AXI4MLIRCompiler(info, enable_cpu_tiling=False,
+                                    use_kernel_cache=False)
+        module = parse_module(self.MATMUL_TEXT)
+        kernel = compiler.compile_module(module)
+        assert kernel.func_name == "matmul_call"
+
+    def test_empty_module_is_rejected(self):
+        _, info = make_matmul_system(version=3, size=4)
+        compiler = AXI4MLIRCompiler(info, use_kernel_cache=False)
+        with pytest.raises(CompileError, match="no func.func"):
+            compiler.compile_module("module {\n}")
+
+
+class TestReviewRegressions:
+    """Edge cases surfaced by review: multi-block regions, special
+    floats, multi-line tokens, and pipeline option errors."""
+
+    def test_labeled_block_after_unlabeled_entry_roundtrips(self):
+        # The printer emits a bare entry block followed by "^bb1:" for a
+        # two-block region whose entry has no arguments; the parser must
+        # accept that exact shape.
+        text = (
+            "module {\n"
+            '  func.func @f() {\n'
+            '    "linalg.generic"(%arg0) {indexing_maps = '
+            "[affine_map<(m) -> (m)>], iterator_types = [\"parallel\"], "
+            "operandSegmentSizes = [0, 1]} : (memref<4xi32>)\n"
+            "    ({\n"
+            '      %0 = "arith.constant"() {value = 1} : () -> (i32)\n'
+            '      "linalg.yield"(%0) : (i32)\n'
+            "      ^bb1:\n"
+            '      "linalg.yield"(%0) : (i32)\n'
+            "    })\n"
+            '    "func.return"()\n'
+            "  }\n"
+            "}"
+        )
+        text = text.replace("@f()", "@f(%arg0: memref<4xi32>)")
+        parsed = parse_module(text)
+        generic = parsed.functions()[0].regions[0].entry_block.operations[0]
+        assert len(generic.regions[0].blocks) == 2
+        printed = print_module(parsed)
+        assert "^bb1:" in printed
+        assert print_module(parse_module(printed)) == printed
+
+    def test_negative_special_floats_with_type_suffix(self):
+        text = (
+            "module {\n  func.func @f() {\n"
+            '    %0 = "arith.constant"() {value = 1, a = -inf : f32, '
+            "b = inf : f64, c = -inf} : () -> (index)\n"
+            '    "func.return"()\n  }\n}'
+        )
+        module = parse_module(text)
+        printed = print_module(module)
+        assert "-inf : f32" in printed
+        assert print_module(parse_module(printed)) == printed
+
+    def test_multiline_composite_keeps_line_numbers(self):
+        text = (
+            "module {\n"
+            '  func.func @f() {\n'
+            '    %0 = "arith.constant"() {value = 1, m = affine_map<(m, n)\n'
+            "      -> (n, m)>} : () -> (index)\n"
+            '    "oops.unknown"()\n'
+            '    "func.return"()\n'
+            "  }\n"
+            "}"
+        )
+        with pytest.raises(ParseError, match=r"<mlir>:5:"):
+            parse_module(text)
+
+    def test_generic_with_no_operands_is_diagnosed(self):
+        with pytest.raises(VerificationError,
+                           match="at least one operand"):
+            parse_module(
+                "module {\n  func.func @f() {\n"
+                '    "linalg.generic"() {indexing_maps = [], '
+                "iterator_types = [], operandSegmentSizes = [0, 0]}\n"
+                '    "func.return"()\n  }\n}',
+                verify=True,
+            )
+
+    def test_bad_cache_bytes_option_is_a_compile_error(self):
+        _, info = make_matmul_system(version=3, size=4)
+        with pytest.raises(CompileError, match="cache-bytes"):
+            parse_pass_pipeline("lower-to-accel{cache-bytes=abc}",
+                                info=info)

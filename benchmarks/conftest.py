@@ -70,4 +70,16 @@ def pytest_sessionfinish(session, exitstatus):
         "collected": session.testscollected,
         "exit_status": int(exitstatus),
     }
+    try:
+        # Per-stage breakdown of the speed path (compiled-kernel cache →
+        # trace record → batched replay), so future PRs can see where
+        # the remaining time goes.
+        from repro.experiments import stage_timings
+
+        payload["per_stage_s"] = {
+            name: round(seconds, 3)
+            for name, seconds in sorted(stage_timings().items())
+        }
+    except Exception:
+        pass
     BENCH_PERF_PATH.write_text(json.dumps(payload, indent=2) + "\n")

@@ -1,0 +1,76 @@
+"""CI perf-regression guard over the BENCH_perf.json trajectory.
+
+Compares a freshly generated ``BENCH_perf.json`` against the committed
+baseline and fails (exit code 1) when the benchmark session got more
+than ``--threshold`` slower — either in total, or on any of the three
+slowest baseline harnesses (the ones a perf regression would hide in).
+
+Usage (as wired in .github/workflows/ci.yml)::
+
+    python benchmarks/perf_guard.py \
+        --baseline /tmp/bench_baseline.json --fresh BENCH_perf.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def compare(baseline: dict, fresh: dict, threshold: float) -> list:
+    failures = []
+    base_total = baseline.get("benchmarks_total_s")
+    fresh_total = fresh.get("benchmarks_total_s")
+    if base_total and fresh_total:
+        print(f"benchmarks_total_s: baseline {base_total:.3f}s, "
+              f"fresh {fresh_total:.3f}s "
+              f"({fresh_total / base_total:.2f}x)")
+        if fresh_total > base_total * threshold:
+            failures.append(
+                f"total {fresh_total:.3f}s exceeds {threshold:.2f}x "
+                f"baseline {base_total:.3f}s"
+            )
+    base_harnesses = baseline.get("per_harness_s", {})
+    fresh_harnesses = fresh.get("per_harness_s", {})
+    slowest = sorted(base_harnesses, key=base_harnesses.get,
+                     reverse=True)[:3]
+    for name in slowest:
+        base_s = base_harnesses[name]
+        fresh_s = fresh_harnesses.get(name)
+        if fresh_s is None:
+            failures.append(f"{name} missing from the fresh record")
+            continue
+        ratio = fresh_s / base_s if base_s else float("inf")
+        print(f"{name}: baseline {base_s:.3f}s, fresh {fresh_s:.3f}s "
+              f"({ratio:.2f}x)")
+        if base_s and fresh_s > base_s * threshold:
+            failures.append(
+                f"{name} {fresh_s:.3f}s exceeds {threshold:.2f}x "
+                f"baseline {base_s:.3f}s"
+            )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True, type=Path)
+    parser.add_argument("--fresh", required=True, type=Path)
+    parser.add_argument("--threshold", type=float, default=1.25,
+                        help="allowed slowdown ratio (default 1.25)")
+    args = parser.parse_args(argv)
+    baseline = json.loads(args.baseline.read_text())
+    fresh = json.loads(args.fresh.read_text())
+    failures = compare(baseline, fresh, args.threshold)
+    if failures:
+        print("\nPERF REGRESSION:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("\nperf guard: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

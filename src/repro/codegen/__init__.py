@@ -3,7 +3,12 @@
 from .python_emitter import (
     PythonEmitter,
     compile_host_function,
+    emit_function,
     emit_function_source,
+    schedule_event_count,
 )
 
-__all__ = ["PythonEmitter", "compile_host_function", "emit_function_source"]
+__all__ = [
+    "PythonEmitter", "compile_host_function", "emit_function",
+    "emit_function_source", "schedule_event_count",
+]

@@ -9,20 +9,33 @@ flushes, receives — and is the artifact benchmarked as
 ``mlir_AXI4MLIR``.
 
 The emitted text is kept human-readable (it is part of this library's
-observable behaviour: examples print it), e.g.::
+observable behaviour: examples print it), but is micro-optimized the
+way a C compiler would: runtime library calls are bound to locals at
+function entry (one attribute lookup per call site per *invocation*,
+not per loop iteration), and loop-invariant values — ``arith.constant``
+results and subview size tuples — are hoisted out of the loop nests::
 
     def matmul_call(rt, arg0, arg1, arg2):
-        rt.dma_init(0, 1073741824, 131072, 1074790400, 131072)
-        v0 = rt.send_literal(0xff, 0)
-        v1 = rt.flush_send(v0)
-        for m in range(0, 64, 8):
-            rt.loop_iteration()
+        dma_init = rt.dma_init
+        send_literal = rt.send_literal
+        ...
+        c0 = 0
+        sz0 = (8, 8)
+        dma_init(c0, c1, c2, c3, c2)
+        for m in range(c0, c8, c9):
+            loop_iteration()
             ...
+
+Alongside the source, the emitter produces a *schedule side table*: a
+nested description of the loop nest and the runtime calls in each body,
+with static bounds where known.  The trace recorder uses it to
+cross-check a recorded schedule (event counts must match the loop-nest
+expansion) before replaying a kernel as batched numpy.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from ..dialects import accel
 from ..ir.attributes import StringAttr, unwrap
@@ -31,6 +44,14 @@ from ..ir.core import Block, Operation, Value
 
 class EmitError(RuntimeError):
     pass
+
+
+#: Runtime-library methods the emitted code may call; each call site is
+#: emitted against a local binding established at function entry.
+_RT_METHODS = (
+    "dma_init", "send_literal", "send_memref", "send_dim", "send_idx",
+    "flush_send", "recv_memref", "loop_iteration", "subview_setup",
+)
 
 
 class PythonEmitter:
@@ -45,6 +66,15 @@ class PythonEmitter:
         self.indent = 1
         self.counter = 0
         self.loop_names: List[str] = []
+        #: Constant values by SSA value, for schedule bounds + hoisting.
+        self.const_values: Dict[Value, object] = {}
+        self._const_lines: List[str] = []
+        self._size_tuples: Dict[Tuple[int, ...], str] = {}
+        self._size_lines: List[str] = []
+        self._used_methods: List[str] = []
+        #: Nested schedule description (the side table).
+        self.schedule: dict = {"op": "func", "body": []}
+        self._body_stack: List[list] = [self.schedule["body"]]
 
     # -- naming ----------------------------------------------------------
     def name_of(self, value: Value) -> str:
@@ -62,6 +92,24 @@ class PythonEmitter:
     def line(self, text: str) -> None:
         self.lines.append("    " * self.indent + text)
 
+    def _rt(self, method: str) -> str:
+        if method not in _RT_METHODS:
+            raise EmitError(f"unknown runtime-library method {method!r}")
+        if method not in self._used_methods:
+            self._used_methods.append(method)
+        return method
+
+    def _size_tuple(self, sizes: Tuple[int, ...]) -> str:
+        name = self._size_tuples.get(sizes)
+        if name is None:
+            name = f"sz{len(self._size_tuples)}"
+            self._size_tuples[sizes] = name
+            self._size_lines.append(f"    {name} = {sizes!r}")
+        return name
+
+    def _record(self, entry: dict) -> None:
+        self._body_stack[-1].append(entry)
+
     # -- entry ------------------------------------------------------------
     def emit(self) -> str:
         sym = self.func_op.get_attr("sym_name")
@@ -73,11 +121,34 @@ class PythonEmitter:
             self.names[argument] = name
             arg_names.append(name)
         header = f"def {func_name}(rt, {', '.join(arg_names)}):"
-        self.lines.append(header)
+        self._hoist_constants(entry)
         if not entry.operations:
             self.line("pass")
         self._emit_block(entry)
-        return "\n".join(self.lines) + "\n"
+        prelude = [
+            f"    {method} = rt.{method}" for method in self._used_methods
+        ]
+        return "\n".join(
+            [header] + prelude + self._const_lines + self._size_lines
+            + self.lines
+        ) + "\n"
+
+    def _hoist_constants(self, block: Block) -> None:
+        """Emit every ``arith.constant`` once, at function entry.
+
+        Constants are pure and loop-invariant; the IR materializes them
+        inside the loop bodies that use them, but re-binding them every
+        iteration is wasted interpreter work in the hot driver loops.
+        """
+        for op in block.operations:
+            if op.name == "arith.constant":
+                value = unwrap(op.get_attr("value"))
+                name = self.fresh(op.results[0], "c")
+                self.const_values[op.results[0]] = value
+                self._const_lines.append(f"    {name} = {value!r}")
+            for region in op.regions:
+                for inner in region.blocks:
+                    self._hoist_constants(inner)
 
     # -- blocks / ops ---------------------------------------------------------
     def _emit_block(self, block: Block) -> None:
@@ -108,9 +179,7 @@ class PythonEmitter:
 
     # -- arith ------------------------------------------------------------
     def _op_arith_constant(self, op: Operation) -> None:
-        value = unwrap(op.get_attr("value"))
-        name = self.fresh(op.results[0], "c")
-        self.line(f"{name} = {value!r}")
+        del op  # hoisted to the function prelude
 
     def _binary(self, op: Operation, operator: str) -> None:
         lhs = self.name_of(op.operands[0])
@@ -158,10 +227,21 @@ class PythonEmitter:
         self.loop_names.append(iv_name)
         self.names[body.arguments[0]] = iv_name
         self.line(f"for {iv_name} in range({lower}, {upper}, {step}):")
+        entry = {
+            "op": "for", "iv": iv_name,
+            "lower": self.const_values.get(op.operands[0]),
+            "upper": self.const_values.get(op.operands[1]),
+            "step": self.const_values.get(op.operands[2]),
+            "body": [],
+        }
+        self._record(entry)
+        self._body_stack.append(entry["body"])
         self.indent += 1
-        self.line("rt.loop_iteration()")
+        self.line(f"{self._rt('loop_iteration')}()")
+        self._record({"op": "loop_iteration"})
         self._emit_block(body)
         self.indent -= 1
+        self._body_stack.pop()
         self.loop_names.pop()
 
     def _op_scf_yield(self, op: Operation) -> None:
@@ -175,9 +255,11 @@ class PythonEmitter:
         name = self.fresh(op.results[0], "sub")
         trailing = "," if len(op.operands) == 2 else ""
         self.line(
-            f"{name} = {source}.subview(({offsets}{trailing}), {sizes!r})"
+            f"{name} = {source}.subview(({offsets}{trailing}), "
+            f"{self._size_tuple(sizes)})"
         )
-        self.line("rt.subview_setup()")
+        self.line(f"{self._rt('subview_setup')}()")
+        self._record({"op": "subview_setup"})
 
     def _op_memref_dim(self, op: Operation) -> None:
         source = self.name_of(op.operands[0])
@@ -188,50 +270,96 @@ class PythonEmitter:
     # -- accel ------------------------------------------------------------
     def _op_accel_dma_init(self, op: Operation) -> None:
         args = ", ".join(self.name_of(v) for v in op.operands)
-        self.line(f"rt.dma_init({args})")
+        self.line(f"{self._rt('dma_init')}({args})")
+        self._record({"op": "dma_init"})
 
     def _op_accel_send_literal(self, op: Operation) -> None:
         literal = self.name_of(op.operands[0])
         offset = self.name_of(op.operands[1])
         name = self.fresh(op.results[0], "off")
-        self.line(f"{name} = rt.send_literal({literal}, {offset})")
+        self.line(f"{name} = {self._rt('send_literal')}({literal}, {offset})")
+        self._record({"op": "send_literal"})
 
     def _op_accel_send(self, op: Operation) -> None:
         ref = self.name_of(op.operands[0])
         offset = self.name_of(op.operands[1])
         name = self.fresh(op.results[0], "off")
-        self.line(f"{name} = rt.send_memref({ref}, {offset})")
+        self.line(f"{name} = {self._rt('send_memref')}({ref}, {offset})")
+        self._record({"op": "send_memref"})
 
     def _op_accel_send_dim(self, op: Operation) -> None:
         ref = self.name_of(op.operands[0])
         dim = self.name_of(op.operands[1])
         offset = self.name_of(op.operands[2])
         name = self.fresh(op.results[0], "off")
-        self.line(f"{name} = rt.send_dim({ref}, {dim}, {offset})")
+        self.line(f"{name} = {self._rt('send_dim')}({ref}, {dim}, {offset})")
+        self._record({"op": "send_dim"})
 
     def _op_accel_send_idx(self, op: Operation) -> None:
         value = self.name_of(op.operands[0])
         offset = self.name_of(op.operands[1])
         name = self.fresh(op.results[0], "off")
-        self.line(f"{name} = rt.send_idx({value}, {offset})")
+        self.line(f"{name} = {self._rt('send_idx')}({value}, {offset})")
+        self._record({"op": "send_idx"})
 
     def _op_accel_flush_send(self, op: Operation) -> None:
         offset = self.name_of(op.operands[0])
         name = self.fresh(op.results[0], "off")
-        self.line(f"{name} = rt.flush_send({offset})")
+        self.line(f"{name} = {self._rt('flush_send')}({offset})")
+        self._record({"op": "flush_send"})
 
     def _op_accel_recv(self, op: Operation) -> None:
         ref = self.name_of(op.operands[0])
         offset = self.name_of(op.operands[1])
         accumulate = accel.recv_mode(op) == accel.RECV_ACCUMULATE
         self.line(
-            f"rt.recv_memref({ref}, {offset}, accumulate={accumulate})"
+            f"{self._rt('recv_memref')}({ref}, {offset}, "
+            f"accumulate={accumulate})"
         )
+        self._record({"op": "recv_memref"})
+
+
+def schedule_event_count(table: Optional[dict]) -> Optional[int]:
+    """Total runtime-library calls the schedule expands to.
+
+    ``None`` when any loop bound is not statically known.  The trace
+    recorder compares this against the number of events it actually
+    recorded — a cheap structural proof that the recording covered the
+    whole loop nest.
+    """
+    if not table:
+        return None
+
+    def count(body: list) -> Optional[int]:
+        total = 0
+        for entry in body:
+            if entry["op"] == "for":
+                lower, upper = entry["lower"], entry["upper"]
+                step = entry["step"]
+                if lower is None or upper is None or not step:
+                    return None
+                trips = len(range(lower, upper, step))
+                inner = count(entry["body"])
+                if inner is None:
+                    return None
+                total += trips * inner
+            else:
+                total += 1
+        return total
+
+    return count(table["body"])
 
 
 def emit_function_source(func_op: Operation) -> str:
     """Emit Python driver source for one lowered function."""
     return PythonEmitter(func_op).emit()
+
+
+def emit_function(func_op: Operation) -> Tuple[str, dict]:
+    """Emit source plus the schedule side table."""
+    emitter = PythonEmitter(func_op)
+    source = emitter.emit()
+    return source, emitter.schedule
 
 
 def compile_host_function(func_op: Operation,

@@ -12,22 +12,49 @@ Typical use (see ``examples/quickstart.py``)::
 
 from __future__ import annotations
 
+import hashlib
+import os
+import pickle
+import time
 from collections import OrderedDict
 from dataclasses import dataclass, field, replace
+from pathlib import Path
 from threading import Lock
 from typing import Callable, Optional, Sequence, Tuple
 
 import numpy as np
 
 from .accel_config import AcceleratorInfo, CPUInfo
-from .codegen import compile_host_function, emit_function_source
+from .codegen import (
+    compile_host_function,
+    emit_function,
+    schedule_event_count,
+)
 from .dialects import func, linalg
 from .execution import interpret_function
+from .execution.replay import replay_kernel
+from .execution.trace import (
+    STAGE_TIMINGS,
+    TraceUnsupported,
+    record_trace,
+    trace_enabled,
+)
 from .ir import Module, MemRefType, element_type_from_string, parse_module
-from .runtime import AxiRuntime, CALL_STYLE_GENERATED
+from .ir.printer import print_module
+from .runtime import AxiRuntime, CALL_STYLE_GENERATED, DoubleBufferedRuntime
 from .soc import Board
 from .transforms import CompileError, build_axi4mlir_pipeline
 from .transforms.lower_to_accel import LoweringPlan
+
+#: Environment variable holding the on-disk kernel-store directory
+#: (conventionally ``.repro_cache/`` at the repo root).
+KERNEL_CACHE_DIR_ENV = "REPRO_KERNEL_CACHE_DIR"
+
+#: On-disk store format/compatibility version.  Folded into every entry
+#: filename and payload: bump it whenever lowering, emission, or the
+#: CompiledKernel payload changes shape, so stale entries from an older
+#: library version can never load silently.
+KERNEL_STORE_VERSION = 1
 
 
 def _np_dtype(element_type) -> np.dtype:
@@ -120,14 +147,25 @@ class KernelCache:
     later requests rebind the cached entry.  ``specialized_copies`` is a
     runtime knob, not a lowering input, so it is deliberately absent
     from the key.
+
+    With ``REPRO_KERNEL_CACHE_DIR`` set (or ``disk_dir`` passed), the
+    cache is additionally backed by an on-disk store keyed by the same
+    fingerprint: a memory miss first tries to load the lowered module +
+    emitted source from disk, and fresh compilations are persisted, so
+    repeated processes skip the lowering pipeline entirely.  The store
+    is eviction-free (load-or-build; entries are only ever added).
     """
 
-    def __init__(self, maxsize: int = 256):
+    def __init__(self, maxsize: int = 256,
+                 disk_dir: Optional[str] = None):
         self.maxsize = maxsize
+        self.disk_dir = disk_dir
         self._entries: "OrderedDict[Tuple, CompiledKernel]" = OrderedDict()
         self._lock = Lock()
         self.hits = 0
         self.misses = 0
+        self.disk_hits = 0
+        self.disk_misses = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -137,10 +175,102 @@ class KernelCache:
             self._entries.clear()
             self.hits = 0
             self.misses = 0
+            self.disk_hits = 0
+            self.disk_misses = 0
 
     def stats(self) -> dict:
-        return {"hits": self.hits, "misses": self.misses,
-                "entries": len(self._entries)}
+        stats = {"hits": self.hits, "misses": self.misses,
+                 "entries": len(self._entries)}
+        disk_dir = self._resolve_disk_dir()
+        if disk_dir is not None:
+            stats.update(disk_hits=self.disk_hits,
+                         disk_misses=self.disk_misses,
+                         disk_dir=str(disk_dir))
+        return stats
+
+    # -- disk store -------------------------------------------------------
+    def _resolve_disk_dir(self) -> Optional[Path]:
+        directory = self.disk_dir or os.environ.get(KERNEL_CACHE_DIR_ENV)
+        return Path(directory) if directory else None
+
+    @staticmethod
+    def _entry_path(directory: Path, key: Tuple) -> Path:
+        digest = hashlib.sha256(
+            repr((KERNEL_STORE_VERSION, key)).encode()
+        ).hexdigest()
+        return directory / f"kernel-{digest}.pkl"
+
+    def _count_disk(self, hit: bool) -> None:
+        with self._lock:
+            if hit:
+                self.disk_hits += 1
+            else:
+                self.disk_misses += 1
+
+    def _disk_load(self, key: Tuple) -> Optional["CompiledKernel"]:
+        """Load one stored kernel, or ``None``.
+
+        Entries are pickled (the lowering plan is not text-serializable),
+        so the store directory must be trusted to the same degree as the
+        installed code itself — point ``REPRO_KERNEL_CACHE_DIR`` only at
+        directories you would run Python from.
+        """
+        directory = self._resolve_disk_dir()
+        if directory is None:
+            return None
+        path = self._entry_path(directory, key)
+        try:
+            payload = pickle.loads(path.read_bytes())
+        except (OSError, pickle.PickleError, EOFError):
+            self._count_disk(hit=False)
+            return None
+        if payload.get("store_version") != KERNEL_STORE_VERSION:
+            self._count_disk(hit=False)
+            return None
+        try:
+            module = parse_module(payload["ir"], verify=False)
+            entry, source = compile_host_function(
+                module.lookup(payload["func_name"]),
+                source=payload["source"],
+            )
+        except Exception:
+            self._count_disk(hit=False)
+            return None
+        self._count_disk(hit=True)
+        return CompiledKernel(
+            module=module,
+            func_name=payload["func_name"],
+            source=source,
+            entry_point=entry,
+            plan=payload.get("plan"),
+            parameters=payload.get("parameters", {}),
+            schedule_table=payload.get("schedule_table"),
+        )
+
+    def _disk_store(self, key: Tuple, kernel: "CompiledKernel") -> None:
+        directory = self._resolve_disk_dir()
+        if directory is None:
+            return
+        try:
+            payload = pickle.dumps({
+                "store_version": KERNEL_STORE_VERSION,
+                "ir": print_module(kernel.module),
+                "func_name": kernel.func_name,
+                "source": kernel.source,
+                "parameters": kernel.parameters,
+                "plan": kernel.plan,
+                "schedule_table": kernel.schedule_table,
+            })
+        except Exception:
+            return  # unpicklable plan: stay memory-only for this entry
+        try:
+            directory.mkdir(parents=True, exist_ok=True)
+            path = self._entry_path(directory, key)
+            tmp = path.with_suffix(f".tmp.{os.getpid()}")
+            tmp.write_bytes(payload)
+            os.replace(tmp, path)
+        except OSError:
+            pass
 
     def get_or_compile(self, key: Tuple,
                        compile_fn: Callable[[], "CompiledKernel"]
@@ -151,7 +281,10 @@ class KernelCache:
                 self._entries.move_to_end(key)
                 self.hits += 1
                 return cached
-        kernel = compile_fn()
+        kernel = self._disk_load(key)
+        if kernel is None:
+            kernel = compile_fn()
+            self._disk_store(key, kernel)
         with self._lock:
             self.misses += 1
             self._entries[key] = kernel
@@ -169,6 +302,22 @@ def default_kernel_cache() -> KernelCache:
     return _GLOBAL_KERNEL_CACHE
 
 
+class KernelTraceState:
+    """Shared (mutable) trace bookkeeping for one lowered kernel.
+
+    Lives outside the :class:`CompiledKernel` dataclass fields proper so
+    that ``dataclasses.replace`` rebinds (``specialized_copies``
+    variants) share one recording.
+    """
+
+    __slots__ = ("lock", "trace", "failed")
+
+    def __init__(self):
+        self.lock = Lock()
+        self.trace = None
+        self.failed = False
+
+
 @dataclass
 class CompiledKernel:
     """The result of one compilation: IR, emitted source, callable."""
@@ -180,6 +329,11 @@ class CompiledKernel:
     plan: Optional[LoweringPlan] = None
     specialized_copies: bool = True
     parameters: dict = field(default_factory=dict)
+    #: Schedule side table from the emitter (loop nest + rt calls).
+    schedule_table: Optional[dict] = None
+    trace_state: KernelTraceState = field(
+        default_factory=KernelTraceState, repr=False, compare=False
+    )
 
     @property
     def func_op(self):
@@ -190,17 +344,67 @@ class CompiledKernel:
                           call_style=CALL_STYLE_GENERATED)
 
     def run(self, board: Board, *arrays: np.ndarray,
-            runtime: Optional[AxiRuntime] = None):
+            runtime: Optional[AxiRuntime] = None,
+            trace: Optional[bool] = None):
         """Execute the emitted host code against ``board``.
 
         Returns the perf counter delta for this invocation.
+
+        ``trace`` selects trace-compiled execution: the kernel's static
+        schedule is recorded once and replayed as batched numpy,
+        bit-identical to the per-tile path.  ``None`` (the default)
+        enables it unless ``REPRO_NO_TRACE=1``; unsupported drivers or
+        runtimes fall back to per-tile execution transparently.
         """
         rt = runtime or self.make_runtime(board)
         descriptors = [rt.make_memref(np.ascontiguousarray(a), f"arg{i}")
                        for i, a in enumerate(arrays)]
         before = board.snapshot()
+        if self._trace_applicable(trace, rt) \
+                and self._run_traced(board, rt, descriptors):
+            return board.measure_since(before)
         self.entry_point(rt, *descriptors)
         return board.measure_since(before)
+
+    # -- trace-compiled execution ----------------------------------------
+    def _trace_applicable(self, trace: Optional[bool], rt) -> bool:
+        if trace is False or not trace_enabled():
+            return False
+        # Exact types only: runtime subclasses may override call
+        # semantics in ways the replay executor cannot see.
+        return type(rt) in (AxiRuntime, DoubleBufferedRuntime)
+
+    def _run_traced(self, board, rt, descriptors) -> bool:
+        state = self.trace_state
+        if state.failed:
+            return False
+        if state.trace is None:
+            with state.lock:
+                if state.trace is None and not state.failed:
+                    try:
+                        specs = tuple(
+                            (d.sizes, d.strides, d.itemsize, str(d.dtype))
+                            for d in descriptors
+                        )
+                        state.trace = record_trace(
+                            self.entry_point, specs,
+                            expected_events=schedule_event_count(
+                                self.schedule_table
+                            ),
+                        )
+                    except Exception:
+                        # Unsupported or erroring drivers: record once,
+                        # then always use the per-tile path (which will
+                        # surface any real error to the caller).
+                        state.failed = True
+        if state.trace is None:
+            return False
+        try:
+            replay_kernel(state.trace, board, rt, descriptors,
+                          type(rt) is DoubleBufferedRuntime)
+        except TraceUnsupported:
+            return False
+        return True
 
     def run_interpreted(self, board: Board, *arrays: np.ndarray,
                         runtime: Optional[AxiRuntime] = None):
@@ -243,35 +447,43 @@ class AXI4MLIRCompiler:
         fixtures).  ``func_name`` defaults to the module's first (and
         typically only) function.
         """
-        if isinstance(module, str):
-            module = parse_module(module, verify=True)
-        if func_name is None:
-            functions = module.functions()
-            if not functions:
-                raise CompileError("module defines no func.func to compile")
-            func_name = functions[0].get_attr("sym_name").value
-        pipeline = build_axi4mlir_pipeline(
-            self.info,
-            cpu=self.cpu,
-            flow_name=self.flow_name,
-            permutation=self.permutation,
-            enable_cpu_tiling=self.enable_cpu_tiling,
-        )
-        pipeline.run(module)
-        func_op = module.lookup(func_name)
-        entry, source = compile_host_function(func_op)
-        lower_pass = pipeline.passes[-1]
-        plan = lower_pass.plans[0] if getattr(lower_pass, "plans", None) \
-            else None
-        return CompiledKernel(
-            module=module,
-            func_name=func_name,
-            source=source,
-            entry_point=entry,
-            plan=plan,
-            specialized_copies=self.specialized_copies,
-            parameters=dict(parameters or {}),
-        )
+        start = time.perf_counter()
+        try:
+            if isinstance(module, str):
+                module = parse_module(module, verify=True)
+            if func_name is None:
+                functions = module.functions()
+                if not functions:
+                    raise CompileError(
+                        "module defines no func.func to compile"
+                    )
+                func_name = functions[0].get_attr("sym_name").value
+            pipeline = build_axi4mlir_pipeline(
+                self.info,
+                cpu=self.cpu,
+                flow_name=self.flow_name,
+                permutation=self.permutation,
+                enable_cpu_tiling=self.enable_cpu_tiling,
+            )
+            pipeline.run(module)
+            func_op = module.lookup(func_name)
+            emitted, schedule_table = emit_function(func_op)
+            entry, source = compile_host_function(func_op, source=emitted)
+            lower_pass = pipeline.passes[-1]
+            plan = lower_pass.plans[0] \
+                if getattr(lower_pass, "plans", None) else None
+            return CompiledKernel(
+                module=module,
+                func_name=func_name,
+                source=source,
+                entry_point=entry,
+                plan=plan,
+                specialized_copies=self.specialized_copies,
+                parameters=dict(parameters or {}),
+                schedule_table=schedule_table,
+            )
+        finally:
+            STAGE_TIMINGS["compile_s"] += time.perf_counter() - start
 
     def _cache_key(self, kernel_name: str, shape: Tuple) -> Tuple:
         permutation = tuple(self.permutation) \

@@ -1,5 +1,18 @@
-"""Execution of lowered host IR: reference interpreter."""
+"""Execution of lowered host IR: reference interpreter + trace replay."""
 
 from .interpreter import Interpreter, interpret_function
+from .trace import (
+    STAGE_TIMINGS,
+    TraceRecorder,
+    TraceUnsupported,
+    record_trace,
+    trace_enabled,
+)
+from .replay import ReplayExecutor, replay_kernel
 
-__all__ = ["Interpreter", "interpret_function"]
+__all__ = [
+    "Interpreter", "interpret_function",
+    "STAGE_TIMINGS", "TraceRecorder", "TraceUnsupported",
+    "record_trace", "trace_enabled",
+    "ReplayExecutor", "replay_kernel",
+]

@@ -7,6 +7,7 @@ print them as tables, and the paper-claims tests assert their shapes.
 
 from .harness import (
     kernel_cache_stats,
+    stage_timings,
     measure_cpu_matmul,
     measure_generated_conv,
     measure_generated_matmul,
@@ -27,6 +28,7 @@ from .figures import (
 
 __all__ = [
     "kernel_cache_stats",
+    "stage_timings",
     "measure_cpu_matmul", "measure_generated_conv",
     "measure_generated_matmul", "measure_manual_conv",
     "measure_manual_matmul",

@@ -10,6 +10,11 @@ Compilation goes through the process-wide kernel cache
 same (accelerator, shape, flow) configuration with different *runtime*
 knobs (fig11's unspecialized copies vs fig12/13's specialized ones)
 lower each kernel exactly once and share the compiled entry point.
+
+Execution opts into trace-compiled replay (``trace=True``): the driver
+schedule is recorded once per kernel and replayed as batched numpy —
+bit-identical counters, a fraction of the wall-clock.  Set
+``REPRO_NO_TRACE=1`` to force per-tile execution throughout.
 """
 
 from __future__ import annotations
@@ -38,6 +43,13 @@ from ..soc import PerfCounters, make_pynq_z2
 def kernel_cache_stats() -> dict:
     """Hit/miss/entry counts of the shared compiled-kernel cache."""
     return default_kernel_cache().stats()
+
+
+def stage_timings() -> dict:
+    """Cumulative compile / trace-record / replay seconds this process."""
+    from ..execution import STAGE_TIMINGS
+
+    return dict(STAGE_TIMINGS)
 
 
 def _data(dims_m: int, dims_n: int, dims_k: int, seed: int = 7):
@@ -71,6 +83,7 @@ def measure_generated_matmul(
     dims_m: int, dims_n: int, dims_k: int, size: int, version: int,
     flow: str, specialized: bool = True, cpu_tiling: bool = True,
     accel_size: Optional[Tuple[int, int, int]] = None,
+    trace: bool = True,
 ) -> PerfCounters:
     """``mlir_AXI4MLIR``: compile and run the generated driver."""
     hw, info = make_matmul_system(version, size, flow=flow,
@@ -82,7 +95,7 @@ def measure_generated_matmul(
     kernel = compiler.compile_matmul(dims_m, dims_n, dims_k)
     a, b = _data(dims_m, dims_n, dims_k)
     c = np.zeros((dims_m, dims_n), np.int32)
-    counters = kernel.run(board, a, b, c)
+    counters = kernel.run(board, a, b, c, trace=trace)
     if not np.array_equal(c, _expected_matmul(a, b)):
         raise AssertionError(
             f"generated driver produced wrong results for "
@@ -116,7 +129,8 @@ def _conv_data(layer, seed: int = 11):
 
 
 @lru_cache(maxsize=None)
-def measure_generated_conv(layer, specialized: bool = True) -> PerfCounters:
+def measure_generated_conv(layer, specialized: bool = True,
+                           trace: bool = True) -> PerfCounters:
     hw, info = make_conv_system(layer.in_ch, layer.f_hw,
                                 max_slice=layer.out_hw ** 2)
     board = make_pynq_z2()
@@ -127,7 +141,7 @@ def measure_generated_conv(layer, specialized: bool = True) -> PerfCounters:
     image, weights = _conv_data(layer)
     expected, _ = cpu_conv(make_pynq_z2(), image, weights, layer.stride)
     out = np.zeros(layer.output_shape(), np.int32)
-    counters = kernel.run(board, image, weights, out)
+    counters = kernel.run(board, image, weights, out, trace=trace)
     if not np.array_equal(out, expected):
         raise AssertionError(f"generated conv wrong for {layer.label}")
     return counters

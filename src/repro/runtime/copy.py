@@ -161,21 +161,76 @@ class _CopyPlan:
 _COPY_PLANS: dict = {}
 
 
-def _copy_plan(desc: MemRefDescriptor, src_start: int, dst_start: int,
-               span_src: int, row_bytes: int, line: int) -> _CopyPlan:
-    key = (desc.sizes, desc.strides, desc.itemsize,
-           src_start % line, dst_start % line, span_src, line)
+def plan_for_geometry(sizes: Tuple[int, ...], strides: Tuple[int, ...],
+                      itemsize: int, src_align: int, dst_align: int,
+                      span_src: int, row_bytes: int, line: int) -> _CopyPlan:
+    """The memoized copy plan for one tile geometry + base alignments.
+
+    Shared by the per-tile charge path and the trace-replay executor,
+    which charges whole runs of identical copies through one plan.
+    """
+    key = (sizes, strides, itemsize, src_align, dst_align, span_src, line)
     plan = _COPY_PLANS.get(key)
     if plan is None:
         if len(_COPY_PLANS) > 16384:
             _COPY_PLANS.clear()
-        rel_bytes = (_row_linear_offsets(desc.sizes[:-1], desc.strides[:-1])
-                     * desc.itemsize if desc.rank else
+        rel_bytes = (_row_linear_offsets(sizes[:-1], strides[:-1])
+                     * itemsize if sizes else
                      np.zeros(1, dtype=np.int64))
-        plan = _CopyPlan(rel_bytes.tolist(), src_start % line,
-                         dst_start % line, span_src, row_bytes, line)
+        plan = _CopyPlan(rel_bytes.tolist(), src_align, dst_align,
+                         span_src, row_bytes, line)
         _COPY_PLANS[key] = plan
     return plan
+
+
+def _copy_plan(desc: MemRefDescriptor, src_start: int, dst_start: int,
+               span_src: int, row_bytes: int, line: int) -> _CopyPlan:
+    return plan_for_geometry(desc.sizes, desc.strides, desc.itemsize,
+                             src_start % line, dst_start % line,
+                             span_src, row_bytes, line)
+
+
+def copy_charge_terms(plan: _CopyPlan, style: str, use_fast: bool,
+                      row_length: int, accumulate: bool, timing):
+    """Base charge terms of one copy with the given plan.
+
+    Returns ``(cycles, references, branches, extra_cycles,
+    extra_references)`` where the extras are the accumulate
+    (read-modify-write) surcharges.  This is the single source of the
+    cost formulas: :func:`charge_memref_copy` applies the terms per
+    copy, the trace-replay executor applies them per plan group —
+    keeping the two paths bit-identical by construction.
+    """
+    if use_fast:
+        cycles = (timing.memcpy_row_setup_cycles * plan.num_rows
+                  + timing.memcpy_cycles_per_line * plan.half_lines)
+        references = timing.memcpy_references_per_line * plan.half_lines
+        branches = timing.memcpy_branches_per_row * plan.num_rows
+        if accumulate:
+            extra_references = (timing.memcpy_references_per_line
+                                * plan.dst_lines)
+            extra_cycles = 0.5 * row_length * plan.num_rows
+        else:
+            extra_references = extra_cycles = 0.0
+        return cycles, references, branches, extra_cycles, extra_references
+    elements = plan.num_rows * row_length
+    if style == CopyKinds.MANUAL:
+        per_elem = (timing.manual_copy_cycles,
+                    timing.manual_copy_references,
+                    timing.manual_copy_branches)
+    else:
+        per_elem = (timing.element_copy_cycles,
+                    timing.element_copy_references,
+                    timing.element_copy_branches)
+    cycles = per_elem[0] * elements
+    references = per_elem[1] * elements
+    branches = per_elem[2] * elements
+    if accumulate:
+        extra_references = elements
+        extra_cycles = 1.0 * elements
+    else:
+        extra_references = extra_cycles = 0.0
+    return cycles, references, branches, extra_cycles, extra_references
 
 
 def _require_word_multiple(desc: MemRefDescriptor) -> None:
@@ -232,41 +287,19 @@ def charge_memref_copy(board, desc: MemRefDescriptor, region_base: int,
         else ((row_length - 1) * abs(inner_stride) + 1) * itemsize
     plan = _copy_plan(desc, src_start, dst_start, src_bytes, row_bytes,
                       line)
-    num_rows = plan.num_rows
-    elements = num_rows * row_length
-
-    if use_fast_path:
-        cycles += (timing.memcpy_row_setup_cycles * num_rows
-                   + timing.memcpy_cycles_per_line * plan.half_lines)
-        counters.cache_references += (
-            timing.memcpy_references_per_line * plan.half_lines
-        )
-        counters.branch_instructions += (
-            timing.memcpy_branches_per_row * num_rows
-        )
-        if accumulate:
-            # Read-modify-write: the destination rows are read again.
-            counters.cache_references += (
-                timing.memcpy_references_per_line * plan.dst_lines
-            )
-            cycles += 0.5 * row_length * num_rows
-    else:
-        if style == CopyKinds.MANUAL:
-            per_elem = (timing.manual_copy_cycles,
-                        timing.manual_copy_references,
-                        timing.manual_copy_branches)
-        else:
-            per_elem = (timing.element_copy_cycles,
-                        timing.element_copy_references,
-                        timing.element_copy_branches)
-        cycles += per_elem[0] * elements
-        counters.cache_references += per_elem[1] * elements
-        counters.branch_instructions += per_elem[2] * elements
-        if accumulate:
-            counters.cache_references += elements
-            cycles += 1.0 * elements
-        # The cache footprint is the same set of lines the fast path
-        # touches; intra-copy reuse of a line always hits (tile << L1).
+    # The extras model the accumulate read-modify-write (destination
+    # rows are read again).  On the non-fast path the cache footprint
+    # is the same set of lines the fast path touches; intra-copy reuse
+    # of a line always hits (tile << L1).
+    base_cycles, references, branches, extra_cycles, extra_references = \
+        copy_charge_terms(plan, style, use_fast_path, row_length,
+                          accumulate, timing)
+    cycles += base_cycles
+    counters.cache_references += references
+    counters.branch_instructions += branches
+    if accumulate:
+        counters.cache_references += extra_references
+        cycles += extra_cycles
 
     # One batched touch for the whole copy, preserving the reference
     # path's source-row/destination-row interleaving (rows may conflict

@@ -1,0 +1,220 @@
+"""Optional C-accelerated kernels for the trace-replay hot loops.
+
+Two loops in the replay executor are inherently sequential and dominate
+its runtime when executed in Python:
+
+* the set-associative LRU state machine over the run's full cache-line
+  stream (integer decisions only), and
+* the timeline replay (the exact chain of clock/stall/accelerator
+  floating-point operations, where summation order fixes the bits).
+
+Both are tiny, dependency-free state machines, so when a system C
+compiler is available they are compiled once per process into a shared
+library and driven through :mod:`ctypes`.  The C code performs exactly
+the same operations as the Python reference paths (IEEE double
+arithmetic with contraction disabled), so results are bit-identical —
+property tests exercise both backends.
+
+No compiler, a failed compile, or ``REPRO_NO_NATIVE=1`` simply disables
+the fast path; callers fall back to the Python implementations.
+"""
+
+from __future__ import annotations
+
+import atexit
+import ctypes
+import os
+import shutil
+import subprocess
+import tempfile
+from typing import Optional
+
+_SOURCE = r"""
+#include <stdint.h>
+
+/* Fused L1->L2 set-associative LRU pass over a line-address stream.
+ * Way arrays hold MRU at slot 0, LRU last; -1 marks an empty slot.
+ * codes[i]: 0 = L1 hit, 1 = L1 miss/L2 hit, 2 = L1 miss/L2 miss.
+ * Semantics match Cache.access_line / CacheHierarchy.touch_lines_batch
+ * exactly (hit moves to MRU; miss inserts at MRU and evicts LRU). */
+void lru_hierarchy_batch(const int64_t *lines, int64_t n,
+                         int64_t *s1, int64_t ns1, int64_t a1, int64_t m1,
+                         int64_t *s2, int64_t ns2, int64_t a2, int64_t m2,
+                         uint8_t *codes)
+{
+    for (int64_t i = 0; i < n; i++) {
+        int64_t line = lines[i];
+        int64_t set = (m1 >= 0) ? (line & m1) : (line % ns1);
+        int64_t *w = s1 + set * a1;
+        int found = 0;
+        for (int64_t j = 0; j < a1; j++) {
+            if (w[j] == line) {
+                for (int64_t k = j; k > 0; k--) w[k] = w[k - 1];
+                w[0] = line;
+                found = 1;
+                break;
+            }
+        }
+        if (found) { codes[i] = 0; continue; }
+        for (int64_t k = a1 - 1; k > 0; k--) w[k] = w[k - 1];
+        w[0] = line;
+        set = (m2 >= 0) ? (line & m2) : (line % ns2);
+        int64_t *w2 = s2 + set * a2;
+        found = 0;
+        for (int64_t j = 0; j < a2; j++) {
+            if (w2[j] == line) {
+                for (int64_t k = j; k > 0; k--) w2[k] = w2[k - 1];
+                w2[0] = line;
+                found = 1;
+                break;
+            }
+        }
+        if (found) { codes[i] = 1; continue; }
+        for (int64_t k = a2 - 1; k > 0; k--) w2[k] = w2[k - 1];
+        w2[0] = line;
+        codes[i] = 2;
+    }
+}
+
+/* The replay timeline: one entry per charge step, with the exact
+ * floating-point operation sequence of the per-tile runtime (see
+ * ReplayExecutor._run_timeline for the Python reference). */
+void timeline_batch(const int8_t *sync, const double *cyc,
+                    const double *brs, const double *rfs,
+                    const double *rf2, const double *taux,
+                    const double *acaux, int64_t n, int32_t db,
+                    double f, double af, double dsc, double dsb,
+                    double pollp, double pollb, double *state)
+{
+    double cpu = state[0], branch = state[1], refs = state[2];
+    double stall = state[3], accel = state[4], clock = state[5];
+    double ready = state[6], busy = state[7], accel_total = state[8];
+    for (int64_t i = 0; i < n; i++) {
+        int s = sync[i];
+        if (s == 0) {
+            double c = cyc[i];
+            cpu += c;
+            branch += brs[i];
+            refs += rfs[i];
+            double r2 = rf2[i];
+            if (r2 != 0.0) refs += r2;
+            clock += c / f;
+        } else if (s == 1) {
+            cpu += dsc; branch += dsb; clock += dsc / f;
+            double t = taux[i];
+            double arrival;
+            if (db) {
+                double start = clock > busy ? clock : busy;
+                busy = start + t;
+                arrival = busy;
+            } else {
+                if (t > 0.0) {
+                    double ts = clock + t;
+                    if (ts > clock) {
+                        double sc = (ts - clock) * f;
+                        stall += sc;
+                        branch += (sc / pollp) * pollb;
+                        clock = ts;
+                    }
+                }
+                arrival = clock;
+            }
+            double ac = acaux[i];
+            double s2v = ready > arrival ? ready : arrival;
+            ready = s2v + ac / af;
+            accel += ac;
+            accel_total += ac;
+        } else if (s == 2) {
+            cpu += dsc; branch += dsb; clock += dsc / f;
+            if (ready > clock) {
+                double sc = (ready - clock) * f;
+                stall += sc;
+                branch += (sc / pollp) * pollb;
+                clock = ready;
+            }
+            double t = taux[i];
+            if (t > 0.0) {
+                double ts = clock + t;
+                if (ts > clock) {
+                    double sc = (ts - clock) * f;
+                    stall += sc;
+                    branch += (sc / pollp) * pollb;
+                    clock = ts;
+                }
+            }
+        } else {
+            if (busy > clock) {
+                double sc = (busy - clock) * f;
+                stall += sc;
+                branch += (sc / pollp) * pollb;
+                clock = busy;
+            }
+        }
+    }
+    state[0] = cpu; state[1] = branch; state[2] = refs; state[3] = stall;
+    state[4] = accel; state[5] = clock; state[6] = ready; state[7] = busy;
+    state[8] = accel_total;
+}
+"""
+
+_lib: Optional[ctypes.CDLL] = None
+_tried = False
+_build_dir: Optional[str] = None
+
+
+def _cleanup() -> None:
+    if _build_dir is not None:
+        shutil.rmtree(_build_dir, ignore_errors=True)
+
+
+def native_lib() -> Optional[ctypes.CDLL]:
+    """The compiled kernel library, or ``None`` when unavailable."""
+    global _lib, _tried, _build_dir
+    if _tried:
+        return _lib
+    _tried = True
+    if os.environ.get("REPRO_NO_NATIVE", "") == "1":
+        return None
+    compiler = (os.environ.get("CC") or shutil.which("cc")
+                or shutil.which("gcc") or shutil.which("clang"))
+    if compiler is None:
+        return None
+    try:
+        _build_dir = tempfile.mkdtemp(prefix="repro-native-")
+        atexit.register(_cleanup)
+        source = os.path.join(_build_dir, "kernels.c")
+        shared = os.path.join(_build_dir, "kernels.so")
+        with open(source, "w") as handle:
+            handle.write(_SOURCE)
+        # -ffp-contract=off: no fused multiply-adds — the timeline must
+        # round after every operation exactly like the Python runtime.
+        result = subprocess.run(
+            [compiler, "-O2", "-shared", "-fPIC", "-ffp-contract=off",
+             source, "-o", shared],
+            capture_output=True, timeout=120,
+        )
+        if result.returncode != 0:
+            return None
+        lib = ctypes.CDLL(shared)
+        i64p = ctypes.POINTER(ctypes.c_int64)
+        f64p = ctypes.POINTER(ctypes.c_double)
+        u8p = ctypes.POINTER(ctypes.c_uint8)
+        i8p = ctypes.POINTER(ctypes.c_int8)
+        lib.lru_hierarchy_batch.argtypes = [
+            i64p, ctypes.c_int64,
+            i64p, ctypes.c_int64, ctypes.c_int64, ctypes.c_int64,
+            i64p, ctypes.c_int64, ctypes.c_int64, ctypes.c_int64,
+            u8p,
+        ]
+        lib.lru_hierarchy_batch.restype = None
+        lib.timeline_batch.argtypes = [
+            i8p, f64p, f64p, f64p, f64p, f64p, f64p,
+            ctypes.c_int64, ctypes.c_int32,
+            ctypes.c_double, ctypes.c_double, ctypes.c_double,
+            ctypes.c_double, ctypes.c_double, ctypes.c_double, f64p,
+        ]
+        lib.timeline_batch.restype = None
+        _lib = lib
+    except Exception:
+        _lib = None
+    return _lib

@@ -315,6 +315,275 @@ class CacheHierarchy:
         return timing.l1_miss_penalty_cycles + timing.l2_miss_penalty_cycles
 
 
+def _classify_lru_offline(lines: np.ndarray, num_sets: int,
+                          associativity: int,
+                          set_mask: Optional[int]) -> np.ndarray:
+    """Exact LRU hit/miss classification for a known access sequence.
+
+    Equivalent to feeding ``lines`` through :meth:`Cache.access_line`
+    one at a time (same per-access decisions, in order), but computed
+    offline from the whole sequence at once: an access hits iff fewer
+    than ``associativity`` *distinct* lines of its set were touched
+    since the previous access to the same line — the classic stack-
+    distance characterization of set-associative LRU.  The heavy work
+    (previous-occurrence chains, per-set ranks, bounded window scans)
+    is vectorized; only rare long-window stragglers fall back to a
+    per-query count.
+
+    The caller is responsible for modelling any warm (non-empty) cache
+    state by prepending one synthetic access per resident line, in
+    LRU-to-MRU order, and discarding the prefix of the returned mask.
+    """
+    n = int(lines.size)
+    if n == 0:
+        return np.zeros(0, dtype=bool)
+    lines = np.ascontiguousarray(lines, dtype=np.int64)
+    sets = (lines & set_mask) if set_mask is not None else (lines % num_sets)
+
+    # Per-set local ranks: a stable sort by set groups each set's
+    # sub-stream in time order.
+    order = np.argsort(sets, kind="stable")
+    sorted_sets = sets[order]
+    new_group = np.empty(n, dtype=bool)
+    new_group[0] = True
+    np.not_equal(sorted_sets[1:], sorted_sets[:-1], out=new_group[1:])
+    group_start_pos = np.flatnonzero(new_group)
+    positions = np.arange(n, dtype=np.int64)
+    base_sorted = np.repeat(group_start_pos,
+                            np.diff(np.r_[group_start_pos, n]))
+    local_sorted = positions - base_sorted
+    rank = np.empty(n, dtype=np.int64)
+    rank[order] = local_sorted
+    base = np.empty(n, dtype=np.int64)
+    base[order] = base_sorted
+
+    # Previous occurrence of the same line (global indices; same line
+    # implies same set).
+    by_line = np.argsort(lines, kind="stable")
+    same = lines[by_line][1:] == lines[by_line][:-1]
+    prev = np.full(n, -1, dtype=np.int64)
+    prev[by_line[1:][same]] = by_line[:-1][same]
+
+    hit = np.zeros(n, dtype=bool)
+    seen = prev >= 0
+    prev_rank = np.full(n, -1, dtype=np.int64)
+    prev_rank[seen] = rank[prev[seen]]
+    gap = rank - prev_rank - 1  # intervening same-set accesses
+    # Fewer than `associativity` accesses in between bounds the distinct
+    # count: a guaranteed hit.  Cold lines are guaranteed misses.
+    hit[seen & (gap < associativity)] = True
+
+    # Remaining queries need the exact distinct count over their window.
+    # ``pr_sorted[s] <= a`` marks a first-occurrence-in-window access
+    # (its own previous occurrence predates the window).
+    pending = np.flatnonzero(seen & (gap >= associativity))
+    if pending.size:
+        pr_sorted = prev_rank[order]
+        q_base = base[pending]
+        q_a = prev_rank[pending]
+        q_b = rank[pending]
+        count = np.zeros(pending.size, dtype=np.int64)
+        alive = np.arange(pending.size)
+        step = 1
+        # The set of unresolved queries shrinks rapidly (misses resolve
+        # at the associativity'th distinct line, hits at their window
+        # end); a work budget guards the pathological long-window case,
+        # and the short tail finishes with per-query window counts.
+        work_budget = 64 * n + (1 << 20)
+        while alive.size > 1024 and work_budget > 0:
+            work_budget -= alive.size
+            scan = q_a[alive] + step
+            reached = scan == q_b[alive]
+            if reached.any():
+                hit[pending[alive[reached]]] = True
+                alive = alive[~reached]
+                scan = q_a[alive] + step
+            if alive.size:
+                cand = pr_sorted[q_base[alive] + scan] <= q_a[alive]
+                count[alive] += cand
+                full_now = count[alive] >= associativity
+                alive = alive[~full_now]  # classified miss (hit stays 0)
+            step += 1
+        # Tail: count each remaining window directly (vectorized within
+        # the window; the partial scan count is not reused).
+        for qi in alive:
+            q = pending[qi]
+            lo = q_base[qi] + q_a[qi] + 1
+            hi = q_base[qi] + q_b[qi]
+            window = pr_sorted[lo:hi]
+            if np.count_nonzero(window <= q_a[qi]) < associativity:
+                hit[q] = True
+    return hit
+
+
+def _final_lru_state(lines: np.ndarray, num_sets: int, associativity: int,
+                     set_mask: Optional[int]) -> Dict[int, List[int]]:
+    """Resident lines per touched set after an access sequence.
+
+    For LRU, the final contents of a set are its last ``associativity``
+    distinct lines, ordered by last access (LRU first) — extracted here
+    without simulating the sequence.
+    """
+    if lines.size == 0:
+        return {}
+    lines = np.ascontiguousarray(lines, dtype=np.int64)
+    by_line = np.argsort(lines, kind="stable")
+    vals = lines[by_line]
+    is_last = np.empty(vals.size, dtype=bool)
+    is_last[-1] = True
+    np.not_equal(vals[1:], vals[:-1], out=is_last[:-1])
+    distinct = vals[is_last]
+    last_occ = by_line[is_last]
+    line_sets = (distinct & set_mask) if set_mask is not None \
+        else (distinct % num_sets)
+    by_set = np.lexsort((last_occ, line_sets))
+    line_sets = line_sets[by_set]
+    distinct = distinct[by_set]
+    boundaries = np.flatnonzero(
+        np.r_[True, line_sets[1:] != line_sets[:-1]]
+    ).tolist() + [line_sets.size]
+    state: Dict[int, List[int]] = {}
+    distinct_list = distinct.tolist()
+    set_list = line_sets.tolist()
+    for start, end in zip(boundaries[:-1], boundaries[1:]):
+        keep = max(start, end - associativity)
+        state[set_list[start]] = distinct_list[keep:end]
+    return state
+
+
+class OfflineLruSimulator:
+    """Replays a known line-access sequence through a hierarchy offline.
+
+    Produces the exact per-access L1 hit mask and (for L1 misses) L2
+    hit mask that :meth:`CacheHierarchy.touch_lines_batch` would, then
+    installs the final LRU state and hit/miss totals back into the live
+    :class:`Cache` objects.  Warm caches are honoured, so a replay can
+    start from any hierarchy state.
+
+    Two backends share the exact per-access semantics: a compiled C
+    state machine (:mod:`repro.soc._native`, the common case) and a
+    vectorized stack-distance classifier with synthetic warm-state
+    prefixes (the no-compiler fallback).  Chunked use is supported:
+    each :meth:`process` call carries the evolving state forward, so
+    arbitrarily long sequences classify in bounded memory.
+    """
+
+    def __init__(self, hierarchy: "CacheHierarchy"):
+        from ._native import native_lib
+
+        self.hierarchy = hierarchy
+        self._lib = native_lib()
+        self._counts = {hierarchy.l1.name: [0, 0], hierarchy.l2.name: [0, 0]}
+        if self._lib is not None:
+            self._ways = {
+                cache.name: _export_ways(cache)
+                for cache in (hierarchy.l1, hierarchy.l2)
+            }
+            return
+        self._state = {}
+        for cache in (hierarchy.l1, hierarchy.l2):
+            self._state[cache.name] = {
+                index: list(ways)
+                for index, ways in enumerate(cache._sets) if ways
+            }
+
+    def _classify_level(self, cache: Cache, lines: np.ndarray) -> np.ndarray:
+        state = self._state[cache.name]
+        if state:
+            warm = np.asarray(
+                [line for ways in state.values() for line in ways],
+                dtype=np.int64,
+            )
+            full = np.concatenate([warm, lines])
+        else:
+            warm = np.zeros(0, dtype=np.int64)
+            full = lines
+        hit = _classify_lru_offline(full, cache.num_sets,
+                                    cache.associativity, cache.set_mask)
+        hit = hit[warm.size:]
+        new_state = _final_lru_state(full, cache.num_sets,
+                                     cache.associativity, cache.set_mask)
+        state.update(new_state)
+        counts = self._counts[cache.name]
+        hits = int(np.count_nonzero(hit))
+        counts[0] += hits
+        counts[1] += int(hit.size) - hits
+        return hit
+
+    def process(self, lines: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Classify one chunk; returns (l1_hit_mask, l2_hit_of_l1_miss).
+
+        The second mask is aligned to the subsequence of L1 misses, as
+        in the live hierarchy where only L1 misses reach L2.
+        """
+        lines = np.ascontiguousarray(lines, dtype=np.int64)
+        if self._lib is not None:
+            return self._process_native(lines)
+        l1_hit = self._classify_level(self.hierarchy.l1, lines)
+        l2_hit = self._classify_level(self.hierarchy.l2, lines[~l1_hit])
+        return l1_hit, l2_hit
+
+    def _process_native(self, lines) -> Tuple[np.ndarray, np.ndarray]:
+        import ctypes
+
+        l1, l2 = self.hierarchy.l1, self.hierarchy.l2
+        codes = np.empty(lines.size, dtype=np.uint8)
+        if lines.size:
+            i64p = ctypes.POINTER(ctypes.c_int64)
+            self._lib.lru_hierarchy_batch(
+                lines.ctypes.data_as(i64p), lines.size,
+                self._ways[l1.name].ctypes.data_as(i64p),
+                l1.num_sets, l1.associativity,
+                -1 if l1.set_mask is None else l1.set_mask,
+                self._ways[l2.name].ctypes.data_as(i64p),
+                l2.num_sets, l2.associativity,
+                -1 if l2.set_mask is None else l2.set_mask,
+                codes.ctypes.data_as(ctypes.POINTER(ctypes.c_uint8)),
+            )
+        tallies = np.bincount(codes, minlength=3)
+        self._counts[l1.name][0] += int(tallies[0])
+        self._counts[l1.name][1] += int(tallies[1] + tallies[2])
+        self._counts[l2.name][0] += int(tallies[1])
+        self._counts[l2.name][1] += int(tallies[2])
+        l1_hit = codes == 0
+        l2_hit = codes[~l1_hit] == 1
+        return l1_hit, l2_hit
+
+    def finalize(self) -> None:
+        """Install the final LRU contents and totals into the caches."""
+        for cache in (self.hierarchy.l1, self.hierarchy.l2):
+            if self._lib is not None:
+                _import_ways(cache, self._ways[cache.name])
+            else:
+                for index, resident in self._state[cache.name].items():
+                    cache._sets[index] = dict.fromkeys(resident)
+            hits, misses = self._counts[cache.name]
+            cache.hits += hits
+            cache.misses += misses
+
+
+def _export_ways(cache: Cache) -> np.ndarray:
+    """Way slots (MRU first, -1 empty) for the native state machine."""
+    ways = np.full(cache.num_sets * cache.associativity, -1, dtype=np.int64)
+    assoc = cache.associativity
+    for index, resident in enumerate(cache._sets):
+        if resident:
+            stack = list(resident)  # dict order: LRU -> MRU
+            stack.reverse()
+            ways[index * assoc:index * assoc + len(stack)] = stack
+    return ways
+
+
+def _import_ways(cache: Cache, ways: np.ndarray) -> None:
+    assoc = cache.associativity
+    slots = ways.reshape(cache.num_sets, assoc).tolist()
+    sets = cache._sets
+    for index, row in enumerate(slots):
+        resident = [line for line in row if line >= 0]
+        resident.reverse()  # back to LRU -> MRU insertion order
+        sets[index] = dict.fromkeys(resident)
+
+
 def hierarchy_from_cpu_info(cpu_info, timing: TimingModel) -> CacheHierarchy:
     """Build a hierarchy from a parsed CPU config section (Fig. 5 L1-L2)."""
     levels = list(cpu_info.cache_levels)

@@ -30,13 +30,40 @@ class TestEmitter:
         _, kernel = make_kernel()
         source = kernel.source
         assert source.startswith("def matmul_call(rt, arg0, arg1, arg2):")
-        assert "rt.dma_init(" in source
+        # Library calls are bound to locals at entry and called bare.
+        assert "dma_init = rt.dma_init" in source
+        assert "recv_memref = rt.recv_memref" in source
+        assert "flush_send = rt.flush_send" in source
         assert "for m in range(" in source
         assert "for k in range(" in source
         assert "for n in range(" in source
-        assert "rt.recv_memref(" in source
+        assert "recv_memref(" in source
         assert "accumulate=True" in source
-        assert "rt.flush_send(" in source
+        assert "flush_send(" in source
+
+    def test_constants_and_sizes_hoisted(self):
+        """Loop-invariant constants live in the prelude, not the body."""
+        _, kernel = make_kernel()
+        lines = kernel.source.splitlines()
+        first_loop = next(i for i, text in enumerate(lines)
+                          if text.lstrip().startswith("for "))
+        body = lines[first_loop:]
+        assert not any(ln.lstrip().startswith("c") and "= " in ln
+                       and ln.split("= ")[-1].lstrip("-").isdigit()
+                       for ln in body), "constant assignment inside a loop"
+        assert any(ln.strip().startswith("sz0 = (") for ln in lines)
+
+    def test_schedule_table_counts_driver_events(self):
+        from repro.codegen import schedule_event_count
+        from repro.execution import TraceRecorder
+
+        _, kernel = make_kernel()
+        expected = schedule_event_count(kernel.schedule_table)
+        recorder = TraceRecorder(tuple(
+            ((16, 16), (16, 1), 4, "int32") for _ in range(3)
+        ))
+        kernel.entry_point(recorder, *recorder.make_args())
+        assert expected == len(recorder.events)
 
     def test_loop_variables_named_after_dims(self):
         _, kernel = make_kernel(flow="Cs")

@@ -129,3 +129,84 @@ class TestKernelCache:
         assert accelerator_fingerprint(ns) != accelerator_fingerprint(cs)
         _, ns2 = make_matmul_system(3, 8, flow="Ns")
         assert accelerator_fingerprint(ns) == accelerator_fingerprint(ns2)
+
+
+class TestDiskKernelStore:
+    """The on-disk store (REPRO_KERNEL_CACHE_DIR / .repro_cache)."""
+
+    def test_load_or_build_across_cache_instances(self, tmp_path):
+        store = str(tmp_path / "repro_cache")
+        writer = KernelCache(disk_dir=store)
+        built = make_compiler(writer).compile_matmul(32, 32, 32)
+        assert writer.disk_hits == 0 and writer.disk_misses == 1
+
+        reader = KernelCache(disk_dir=store)  # fresh memory cache
+        loaded = make_compiler(reader).compile_matmul(32, 32, 32)
+        assert reader.disk_hits == 1
+        assert loaded.source == built.source
+        assert loaded.func_name == built.func_name
+        assert loaded.parameters == built.parameters
+        assert loaded.schedule_table == built.schedule_table
+        assert loaded.plan is not None
+
+    def test_env_var_enables_store(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL_CACHE_DIR",
+                           str(tmp_path / "env_cache"))
+        writer = KernelCache()
+        make_compiler(writer).compile_matmul(16, 16, 16)
+        reader = KernelCache()
+        make_compiler(reader).compile_matmul(16, 16, 16)
+        assert reader.disk_hits == 1
+        stats = reader.stats()
+        assert stats["disk_hits"] == 1
+        assert stats["disk_dir"].endswith("env_cache")
+
+    def test_stats_stay_minimal_without_store(self, cache):
+        make_compiler(cache).compile_matmul(16, 16, 16)
+        assert set(cache.stats()) == {"hits", "misses", "entries"}
+
+    def test_loaded_kernel_runs_identically(self, tmp_path):
+        store = str(tmp_path / "repro_cache")
+
+        def measure(kernel_cache):
+            hw, info = make_matmul_system(3, 8, flow="Cs")
+            board = make_pynq_z2()
+            board.attach_accelerator(hw)
+            kernel = AXI4MLIRCompiler(info, kernel_cache=kernel_cache) \
+                .compile_matmul(32, 32, 32)
+            rng = np.random.default_rng(21)
+            a = rng.integers(-5, 5, (32, 32)).astype(np.int32)
+            b = rng.integers(-5, 5, (32, 32)).astype(np.int32)
+            c = np.zeros((32, 32), np.int32)
+            counters = kernel.run(board, a, b, c)
+            return counters.as_dict(), c.tobytes()
+
+        fresh = measure(KernelCache(disk_dir=store))
+        from_disk_cache = KernelCache(disk_dir=store)
+        loaded = measure(from_disk_cache)
+        assert from_disk_cache.disk_hits == 1
+        assert fresh == loaded
+
+    def test_store_version_bump_invalidates_entries(self, tmp_path,
+                                                    monkeypatch):
+        import repro.compiler as compiler_mod
+
+        store = str(tmp_path / "repro_cache")
+        writer = KernelCache(disk_dir=store)
+        make_compiler(writer).compile_matmul(16, 16, 16)
+        monkeypatch.setattr(compiler_mod, "KERNEL_STORE_VERSION",
+                            compiler_mod.KERNEL_STORE_VERSION + 1)
+        reader = KernelCache(disk_dir=store)
+        make_compiler(reader).compile_matmul(16, 16, 16)
+        assert reader.disk_hits == 0  # old-format entry never loads
+
+    def test_corrupt_entry_falls_back_to_build(self, tmp_path):
+        store = tmp_path / "repro_cache"
+        writer = KernelCache(disk_dir=str(store))
+        make_compiler(writer).compile_matmul(16, 16, 16)
+        for entry in store.glob("kernel-*.pkl"):
+            entry.write_bytes(b"corrupt")
+        reader = KernelCache(disk_dir=str(store))
+        kernel = make_compiler(reader).compile_matmul(16, 16, 16)
+        assert reader.disk_hits == 0 and reader.disk_misses == 1
+        assert kernel.source  # rebuilt from scratch

@@ -1,0 +1,289 @@
+"""Counter-equivalence of trace-compiled replay vs per-tile execution.
+
+The contract under test: for every supported configuration,
+``kernel.run(trace=True)`` (record the driver schedule once, replay it
+as batched numpy) produces **bit-identical** results to
+``kernel.run(trace=False)`` (the per-tile runtime) — the PerfCounters,
+the output arrays (byte-for-byte), the board clock, the cache
+hit/miss totals *and* final LRU contents, the DMA staging regions, and
+the accelerator statistics.
+
+Wide element types (i64/f64) cannot reach the accelerator end-to-end —
+the AXI stream carries 32-bit words and the behavioural models reject
+wider dtypes — so for those the contract degrades to: the trace path
+must fall back without changing per-tile semantics (including error
+behaviour).  Their staging/copy cost paths share the memoized copy
+plans exercised by test_copy_equivalence.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.accelerators import make_conv_system, make_matmul_system
+from repro.compiler import AXI4MLIRCompiler, KernelCache
+from repro.runtime import (
+    AxiRuntime,
+    CALL_STYLE_MANUAL,
+    DoubleBufferedRuntime,
+)
+from repro.soc import make_pynq_z2
+
+
+def _board_state(board, hw):
+    caches = board.caches
+    return {
+        "clock": board.clock,
+        "accel_ready_at": board.accel_ready_at,
+        "dma_busy_until": board.dma_busy_until,
+        "l1": (caches.l1.hits, caches.l1.misses),
+        "l2": (caches.l2.hits, caches.l2.misses),
+        "l1_sets": [tuple(ways) for ways in caches.l1._sets],
+        "l2_sets": [tuple(ways) for ways in caches.l2._sets],
+        "accel": (hw.total_cycles, hw.instructions_executed),
+        "in_region": board.dma.input_words.tobytes()
+        if board.dma is not None else b"",
+        "out_region": board.dma.output_words.tobytes()
+        if board.dma is not None else b"",
+    }
+
+
+def run_matmul_pair(version, size, flow, m, n, k, dtype=np.int32,
+                    accel_size=None, cpu_tiling=True, specialized=True,
+                    runtime_cls=None, runtime_kwargs=None, seed=11,
+                    runs=1):
+    """Run the same kernel per-tile and trace-replayed; return both."""
+    results = []
+    for trace in (False, True):
+        hw, info = make_matmul_system(version, size, flow=flow,
+                                      dtype=dtype, accel_size=accel_size)
+        board = make_pynq_z2()
+        board.attach_accelerator(hw)
+        kernel = AXI4MLIRCompiler(
+            info, kernel_cache=KernelCache(), enable_cpu_tiling=cpu_tiling,
+            specialized_copies=specialized,
+        ).compile_matmul(m, n, k)
+        rng = np.random.default_rng(seed)
+        if np.issubdtype(np.dtype(dtype), np.integer):
+            a = rng.integers(-7, 7, (m, k)).astype(dtype)
+            b = rng.integers(-7, 7, (k, n)).astype(dtype)
+        else:
+            a = rng.standard_normal((m, k)).astype(dtype)
+            b = rng.standard_normal((k, n)).astype(dtype)
+        c = np.zeros((m, n), dtype)
+        counters = None
+        for _ in range(runs):
+            rt = runtime_cls(board, **(runtime_kwargs or {})) \
+                if runtime_cls else None
+            counters = kernel.run(board, a, b, c, runtime=rt, trace=trace)
+        results.append((counters.as_dict(), c.tobytes(),
+                        _board_state(board, hw)))
+    return results
+
+
+def assert_pair_identical(pair):
+    reference, traced = pair
+    assert reference[0] == traced[0], "PerfCounters differ"
+    assert reference[1] == traced[1], "outputs differ"
+    assert reference[2] == traced[2], "board/accelerator state differs"
+
+
+MATMUL_CONFIGS = [
+    # version, size, flow — across the catalog's flow strategies.
+    (1, 4, "Ns"),
+    (2, 4, "As"),
+    (2, 8, "Bs"),
+    (3, 4, "Ns"),
+    (3, 4, "As"),
+    (3, 8, "Bs"),
+    (3, 8, "Cs"),
+]
+
+
+class TestMatmulEquivalence:
+    @pytest.mark.parametrize("version,size,flow", MATMUL_CONFIGS)
+    def test_flows_and_tilings(self, version, size, flow):
+        dims = size * 4
+        assert_pair_identical(
+            run_matmul_pair(version, size, flow, dims, dims, dims)
+        )
+
+    def test_rectangular(self):
+        assert_pair_identical(run_matmul_pair(3, 8, "Cs", 32, 16, 64))
+
+    def test_flexible_v4_tiles(self):
+        assert_pair_identical(run_matmul_pair(
+            4, 16, "Cs", 64, 32, 128, accel_size=(32, 16, 64)
+        ))
+
+    def test_float32(self):
+        assert_pair_identical(run_matmul_pair(
+            3, 8, "Cs", 32, 32, 32, dtype=np.float32
+        ))
+
+    def test_unspecialized_copies(self):
+        assert_pair_identical(run_matmul_pair(
+            3, 8, "Ns", 32, 32, 32, specialized=False
+        ))
+
+    def test_cpu_tiling_disabled(self):
+        assert_pair_identical(run_matmul_pair(
+            3, 16, "Ns", 64, 64, 64, cpu_tiling=False
+        ))
+
+    def test_manual_call_style(self):
+        assert_pair_identical(run_matmul_pair(
+            3, 8, "Ns", 32, 32, 32, runtime_cls=AxiRuntime,
+            runtime_kwargs={"call_style": CALL_STYLE_MANUAL,
+                            "copy_style": "specialized"},
+        ))
+
+    def test_manual_copy_style(self):
+        assert_pair_identical(run_matmul_pair(
+            3, 8, "Ns", 32, 32, 32, runtime_cls=AxiRuntime,
+            runtime_kwargs={"copy_style": "manual"},
+        ))
+
+    def test_repeated_runs_share_one_board(self):
+        """The second replay starts from warm caches and accel state."""
+        assert_pair_identical(run_matmul_pair(
+            3, 8, "As", 16, 16, 16, runs=3
+        ))
+
+
+class TestDoubleBuffering:
+    @pytest.mark.parametrize("flow", ["Ns", "As", "Cs"])
+    def test_double_buffered(self, flow):
+        assert_pair_identical(run_matmul_pair(
+            3, 8, flow, 32, 32, 32, runtime_cls=DoubleBufferedRuntime
+        ))
+
+    def test_blocking_runtime(self):
+        assert_pair_identical(run_matmul_pair(
+            3, 8, "Cs", 32, 32, 32, runtime_cls=AxiRuntime
+        ))
+
+
+def run_conv_pair(in_ch, f_hw, out_ch, out_hw, stride, seed=5):
+    in_hw = (out_hw - 1) * stride + f_hw
+    results = []
+    for trace in (False, True):
+        hw, info = make_conv_system(in_ch, f_hw)
+        board = make_pynq_z2()
+        board.attach_accelerator(hw)
+        kernel = AXI4MLIRCompiler(info, kernel_cache=KernelCache()) \
+            .compile_conv(1, in_ch, in_hw, out_ch, f_hw, stride)
+        rng = np.random.default_rng(seed)
+        image = rng.integers(-4, 4, (1, in_ch, in_hw, in_hw)) \
+            .astype(np.int32)
+        weights = rng.integers(-4, 4, (out_ch, in_ch, f_hw, f_hw)) \
+            .astype(np.int32)
+        oh = (in_hw - f_hw) // stride + 1
+        out = np.zeros((1, out_ch, oh, oh), np.int32)
+        counters = kernel.run(board, image, weights, out, trace=trace)
+        results.append((counters.as_dict(), out.tobytes(),
+                        _board_state(board, hw)))
+    return results
+
+
+class TestConvEquivalence:
+    @pytest.mark.parametrize("in_ch,f_hw,out_ch,out_hw,stride", [
+        (4, 3, 2, 6, 1),
+        (8, 3, 3, 4, 2),
+        (2, 1, 2, 4, 1),   # fHW == 1: the Fig. 16 regression geometry
+    ])
+    def test_conv_configs(self, in_ch, f_hw, out_ch, out_hw, stride):
+        assert_pair_identical(
+            run_conv_pair(in_ch, f_hw, out_ch, out_hw, stride)
+        )
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    tiles_m=st.integers(1, 4), tiles_n=st.integers(1, 4),
+    tiles_k=st.integers(1, 4),
+    version_flow=st.sampled_from([(1, "Ns"), (2, "As"), (2, "Bs"),
+                                  (3, "Cs"), (3, "Ns"), (3, "Bs")]),
+    seed=st.integers(0, 2 ** 16),
+)
+def test_property_replay_counters_bit_identical(tiles_m, tiles_n, tiles_k,
+                                                version_flow, seed):
+    version, flow = version_flow
+    size = 4
+    assert_pair_identical(run_matmul_pair(
+        version, size, flow, size * tiles_m, size * tiles_n,
+        size * tiles_k, seed=seed,
+    ))
+
+
+class TestFallbacks:
+    def test_kill_switch_forces_per_tile(self, monkeypatch):
+        from repro.execution import STAGE_TIMINGS
+
+        monkeypatch.setenv("REPRO_NO_TRACE", "1")
+        before = STAGE_TIMINGS["replay_s"]
+        pair = run_matmul_pair(3, 4, "Ns", 16, 16, 16)
+        assert_pair_identical(pair)  # both ran per-tile: trivially equal
+        assert STAGE_TIMINGS["replay_s"] == before
+
+    def test_custom_runtime_subclass_falls_back(self):
+        class EagerRuntime(AxiRuntime):
+            def send_literal(self, literal, offset):
+                return self.flush_send(super().send_literal(literal, offset))
+
+        pair = run_matmul_pair(3, 4, "Ns", 16, 16, 16,
+                               runtime_cls=EagerRuntime)
+        assert_pair_identical(pair)
+
+    def test_python_backends_match_per_tile(self, monkeypatch):
+        """The no-compiler fallbacks are equally bit-identical."""
+        import repro.execution.replay as replay_mod
+        import repro.soc._native as native_mod
+
+        # OfflineLruSimulator resolves native_lib lazily from _native,
+        # so patching the module attribute disables both C kernels.
+        monkeypatch.setattr(native_mod, "native_lib", lambda: None)
+        monkeypatch.setattr(replay_mod, "native_lib", lambda: None)
+        assert_pair_identical(run_matmul_pair(3, 8, "Cs", 32, 32, 32))
+        assert_pair_identical(run_conv_pair(4, 3, 2, 6, 1))
+
+    def test_send_after_receive_is_unsupported(self):
+        """Replay snapshots all staged data up front, so a driver that
+        re-sends data it received earlier in the run must be rejected
+        at record time (read-after-write hazard)."""
+        from repro.execution import TraceUnsupported, record_trace
+
+        def driver(rt, arg0):
+            rt.dma_init(0, 0, 4096, 0, 4096)
+            sub = arg0.subview((0, 0), (4, 4))
+            off = rt.send_memref(sub, rt.send_literal(0x22, 0))
+            rt.flush_send(off)
+            rt.recv_memref(sub, 0, accumulate=False)
+            off = rt.send_memref(sub, rt.send_literal(0x22, 0))
+            rt.flush_send(off)
+            rt.recv_memref(sub, 0, accumulate=False)
+
+        with pytest.raises(TraceUnsupported, match="read-after-write"):
+            record_trace(driver, (((8, 8), (8, 1), 4, "int32"),))
+
+    def test_wide_dtype_changes_nothing(self):
+        """i64 data cannot stream through the 32-bit accelerators; the
+        trace path must preserve per-tile behaviour exactly, whatever
+        that behaviour is (here: an error from the stream decoder)."""
+        outcomes = []
+        for trace in (False, True):
+            hw, info = make_matmul_system(3, 4, flow="Ns")
+            board = make_pynq_z2()
+            board.attach_accelerator(hw)
+            kernel = AXI4MLIRCompiler(
+                info, kernel_cache=KernelCache()
+            ).compile_matmul(16, 16, 16)
+            a = np.ones((16, 16), np.int64)
+            b = np.ones((16, 16), np.int64)
+            c = np.zeros((16, 16), np.int64)
+            try:
+                kernel.run(board, a, b, c, trace=trace)
+                outcomes.append(("ok", c.tobytes()))
+            except Exception as exc:
+                outcomes.append((type(exc).__name__, str(exc)))
+        assert outcomes[0] == outcomes[1]

@@ -2,8 +2,16 @@
 
 Compares a freshly generated ``BENCH_perf.json`` against the committed
 baseline and fails (exit code 1) when the benchmark session got more
-than ``--threshold`` slower — either in total, or on any of the three
-slowest baseline harnesses (the ones a perf regression would hide in).
+than ``--threshold`` slower — in total, on any of the three slowest
+baseline harnesses (the ones a perf regression would hide in), or on
+any pipeline *stage* (``compile_s`` / ``trace_synth_s`` /
+``trace_record_s`` / ``manual_record_s`` / ``replay_s``): a stage-level
+guard catches e.g. a change that silently knocks every kernel off the
+synthesis path onto recording, even when harness totals still squeak
+under the threshold.  Stages below ``_STAGE_FLOOR_S`` in the baseline
+are skipped — their ratios are noise (and a near-zero baseline stage
+like ``trace_record_s`` *growing* past the floor is exactly what the
+floor-crossing check below exists for).
 
 Usage (as wired in .github/workflows/ci.yml)::
 
@@ -17,6 +25,12 @@ import argparse
 import json
 import sys
 from pathlib import Path
+
+#: Stages quicker than this in the baseline are exempt from the ratio
+#: guard, but must stay under it (times the threshold) in the fresh
+#: record too — a stage going from ~0 to substantial is a regression
+#: no ratio can express.
+_STAGE_FLOOR_S = 0.2
 
 
 def compare(baseline: dict, fresh: dict, threshold: float) -> list:
@@ -49,6 +63,37 @@ def compare(baseline: dict, fresh: dict, threshold: float) -> list:
             failures.append(
                 f"{name} {fresh_s:.3f}s exceeds {threshold:.2f}x "
                 f"baseline {base_s:.3f}s"
+            )
+    failures.extend(compare_stages(baseline.get("per_stage_s", {}),
+                                   fresh.get("per_stage_s", {}),
+                                   threshold))
+    return failures
+
+
+def compare_stages(base_stages: dict, fresh_stages: dict,
+                   threshold: float) -> list:
+    failures = []
+    for name in sorted(base_stages):
+        base_s = base_stages[name]
+        fresh_s = fresh_stages.get(name)
+        if fresh_s is None:
+            if base_s >= _STAGE_FLOOR_S:
+                failures.append(
+                    f"stage {name} missing from the fresh record"
+                )
+            continue
+        print(f"stage {name}: baseline {base_s:.3f}s, "
+              f"fresh {fresh_s:.3f}s")
+        if base_s >= _STAGE_FLOOR_S:
+            if fresh_s > base_s * threshold:
+                failures.append(
+                    f"stage {name} {fresh_s:.3f}s exceeds "
+                    f"{threshold:.2f}x baseline {base_s:.3f}s"
+                )
+        elif fresh_s > _STAGE_FLOOR_S * threshold:
+            failures.append(
+                f"stage {name} grew from {base_s:.3f}s to {fresh_s:.3f}s "
+                f"(floor {_STAGE_FLOOR_S:.2f}s x {threshold:.2f})"
             )
     return failures
 

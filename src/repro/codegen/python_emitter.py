@@ -27,10 +27,15 @@ results and subview size tuples — are hoisted out of the loop nests::
             ...
 
 Alongside the source, the emitter produces a *schedule side table*: a
-nested description of the loop nest and the runtime calls in each body,
-with static bounds where known.  The trace recorder uses it to
-cross-check a recorded schedule (event counts must match the loop-nest
-expansion) before replaying a kernel as batched numpy.
+nested description of the loop nest and every statement in each body —
+runtime calls with their operand value names, subview offset forms,
+``arith`` index computations, and the constant pool — with static
+bounds where known.  Two consumers read it: the trace recorder
+cross-checks a recorded schedule against :func:`schedule_event_count`
+(event counts must match the loop-nest expansion), and the
+ahead-of-time synthesizer (:mod:`repro.execution.synthesize`) expands
+it directly into a replayable :class:`DriverTrace` without ever
+executing the emitted driver.
 """
 
 from __future__ import annotations
@@ -53,6 +58,11 @@ _RT_METHODS = (
     "flush_send", "recv_memref", "loop_iteration", "subview_setup",
 )
 
+#: Schedule-table entries that expand to a recorded runtime-library
+#: event (everything else — ``arith``, ``subview``, ``dim`` — is pure
+#: host-side index computation the recorder never sees).
+SCHEDULE_EVENT_OPS = frozenset(_RT_METHODS)
+
 
 class PythonEmitter:
     """Walks one lowered ``func.func`` and produces Python source."""
@@ -72,8 +82,13 @@ class PythonEmitter:
         self._size_tuples: Dict[Tuple[int, ...], str] = {}
         self._size_lines: List[str] = []
         self._used_methods: List[str] = []
-        #: Nested schedule description (the side table).
-        self.schedule: dict = {"op": "func", "body": []}
+        #: Nested schedule description (the side table).  ``constants``
+        #: maps hoisted-constant names to their values; ``args`` lists
+        #: the driver's memref argument names in order; body entries
+        #: carry the emitted value names of their operands so the
+        #: synthesizer can re-evaluate the loop nest symbolically.
+        self.schedule: dict = {"op": "func", "constants": {}, "args": [],
+                               "body": []}
         self._body_stack: List[list] = [self.schedule["body"]]
 
     # -- naming ----------------------------------------------------------
@@ -120,6 +135,7 @@ class PythonEmitter:
             name = f"arg{i}"
             self.names[argument] = name
             arg_names.append(name)
+        self.schedule["args"] = list(arg_names)
         header = f"def {func_name}(rt, {', '.join(arg_names)}):"
         self._hoist_constants(entry)
         if not entry.operations:
@@ -145,6 +161,7 @@ class PythonEmitter:
                 value = unwrap(op.get_attr("value"))
                 name = self.fresh(op.results[0], "c")
                 self.const_values[op.results[0]] = value
+                self.schedule["constants"][name] = value
                 self._const_lines.append(f"    {name} = {value!r}")
             for region in op.regions:
                 for inner in region.blocks:
@@ -186,6 +203,8 @@ class PythonEmitter:
         rhs = self.name_of(op.operands[1])
         name = self.fresh(op.results[0])
         self.line(f"{name} = {lhs} {operator} {rhs}")
+        self._record({"op": "arith", "fn": operator, "result": name,
+                      "args": [lhs, rhs]})
 
     def _op_arith_addi(self, op):
         self._binary(op, "+")
@@ -210,6 +229,8 @@ class PythonEmitter:
         rhs = self.name_of(op.operands[1])
         name = self.fresh(op.results[0])
         self.line(f"{name} = min({lhs}, {rhs})")
+        self._record({"op": "arith", "fn": "min", "result": name,
+                      "args": [lhs, rhs]})
 
     # -- scf ------------------------------------------------------------------
     def _op_scf_for(self, op: Operation) -> None:
@@ -232,6 +253,7 @@ class PythonEmitter:
             "lower": self.const_values.get(op.operands[0]),
             "upper": self.const_values.get(op.operands[1]),
             "step": self.const_values.get(op.operands[2]),
+            "args": [lower, upper, step],
             "body": [],
         }
         self._record(entry)
@@ -258,6 +280,9 @@ class PythonEmitter:
             f"{name} = {source}.subview(({offsets}{trailing}), "
             f"{self._size_tuple(sizes)})"
         )
+        self._record({"op": "subview", "result": name, "ref": source,
+                      "offsets": [self.name_of(v) for v in op.operands[1:]],
+                      "sizes": list(sizes)})
         self.line(f"{self._rt('subview_setup')}()")
         self._record({"op": "subview_setup"})
 
@@ -266,26 +291,30 @@ class PythonEmitter:
         index = unwrap(op.get_attr("index"))
         name = self.fresh(op.results[0], "d")
         self.line(f"{name} = {source}.sizes[{index}]")
+        self._record({"op": "dim", "result": name, "ref": source,
+                      "index": int(index)})
 
     # -- accel ------------------------------------------------------------
     def _op_accel_dma_init(self, op: Operation) -> None:
-        args = ", ".join(self.name_of(v) for v in op.operands)
-        self.line(f"{self._rt('dma_init')}({args})")
-        self._record({"op": "dma_init"})
+        names = [self.name_of(v) for v in op.operands]
+        self.line(f"{self._rt('dma_init')}({', '.join(names)})")
+        self._record({"op": "dma_init", "args": names})
 
     def _op_accel_send_literal(self, op: Operation) -> None:
         literal = self.name_of(op.operands[0])
         offset = self.name_of(op.operands[1])
         name = self.fresh(op.results[0], "off")
         self.line(f"{name} = {self._rt('send_literal')}({literal}, {offset})")
-        self._record({"op": "send_literal"})
+        self._record({"op": "send_literal", "result": name,
+                      "value": literal, "offset": offset})
 
     def _op_accel_send(self, op: Operation) -> None:
         ref = self.name_of(op.operands[0])
         offset = self.name_of(op.operands[1])
         name = self.fresh(op.results[0], "off")
         self.line(f"{name} = {self._rt('send_memref')}({ref}, {offset})")
-        self._record({"op": "send_memref"})
+        self._record({"op": "send_memref", "result": name, "ref": ref,
+                      "offset": offset})
 
     def _op_accel_send_dim(self, op: Operation) -> None:
         ref = self.name_of(op.operands[0])
@@ -293,20 +322,22 @@ class PythonEmitter:
         offset = self.name_of(op.operands[2])
         name = self.fresh(op.results[0], "off")
         self.line(f"{name} = {self._rt('send_dim')}({ref}, {dim}, {offset})")
-        self._record({"op": "send_dim"})
+        self._record({"op": "send_dim", "result": name, "ref": ref,
+                      "dim": dim, "offset": offset})
 
     def _op_accel_send_idx(self, op: Operation) -> None:
         value = self.name_of(op.operands[0])
         offset = self.name_of(op.operands[1])
         name = self.fresh(op.results[0], "off")
         self.line(f"{name} = {self._rt('send_idx')}({value}, {offset})")
-        self._record({"op": "send_idx"})
+        self._record({"op": "send_idx", "result": name, "value": value,
+                      "offset": offset})
 
     def _op_accel_flush_send(self, op: Operation) -> None:
         offset = self.name_of(op.operands[0])
         name = self.fresh(op.results[0], "off")
         self.line(f"{name} = {self._rt('flush_send')}({offset})")
-        self._record({"op": "flush_send"})
+        self._record({"op": "flush_send", "result": name, "offset": offset})
 
     def _op_accel_recv(self, op: Operation) -> None:
         ref = self.name_of(op.operands[0])
@@ -316,7 +347,8 @@ class PythonEmitter:
             f"{self._rt('recv_memref')}({ref}, {offset}, "
             f"accumulate={accumulate})"
         )
-        self._record({"op": "recv_memref"})
+        self._record({"op": "recv_memref", "ref": ref, "offset": offset,
+                      "accumulate": accumulate})
 
 
 def schedule_event_count(table: Optional[dict]) -> Optional[int]:
@@ -343,7 +375,7 @@ def schedule_event_count(table: Optional[dict]) -> Optional[int]:
                 if inner is None:
                     return None
                 total += trips * inner
-            else:
+            elif entry["op"] in SCHEDULE_EVENT_OPS:
                 total += 1
         return total
 

@@ -33,8 +33,17 @@ from .codegen import (
 from .dialects import func, linalg
 from .execution import interpret_function
 from .execution.replay import replay_kernel
+from .execution.synthesize import (
+    TraceMismatch,
+    cross_check_requested,
+    diff_traces,
+    synthesis_enabled,
+    synthesize_trace,
+)
 from .execution.trace import (
     STAGE_TIMINGS,
+    TRACE_COUNTERS,
+    TRACE_SCHEMA_VERSION,
     TraceUnsupported,
     record_trace,
     trace_enabled,
@@ -53,8 +62,38 @@ KERNEL_CACHE_DIR_ENV = "REPRO_KERNEL_CACHE_DIR"
 #: On-disk store format/compatibility version.  Folded into every entry
 #: filename and payload: bump it whenever lowering, emission, or the
 #: CompiledKernel payload changes shape, so stale entries from an older
-#: library version can never load silently.
-KERNEL_STORE_VERSION = 1
+#: library version can never load silently.  (The serialized trace has
+#: its own schema version, TRACE_SCHEMA_VERSION: a trace-only schema
+#: bump evicts just the trace, not the lowered kernel.)
+KERNEL_STORE_VERSION = 2
+
+
+_SOURCE_TREE_DIGEST: Optional[str] = None
+
+
+def _source_tree_digest() -> str:
+    """Content hash of the installed ``repro`` package sources.
+
+    Folded into every on-disk kernel-store entry name so that *any*
+    source change — not just ones remembered in a manual version bump —
+    invalidates persisted kernels/traces.  Without this, a restored
+    cache (e.g. CI's ``actions/cache`` prefix restore) could silently
+    serve drivers emitted by an older compiler.  Hashed once per
+    process (~100 small files).
+    """
+    global _SOURCE_TREE_DIGEST
+    if _SOURCE_TREE_DIGEST is None:
+        root = Path(__file__).resolve().parent
+        hasher = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            hasher.update(str(path.relative_to(root)).encode())
+            hasher.update(b"\0")
+            try:
+                hasher.update(path.read_bytes())
+            except OSError:
+                pass
+        _SOURCE_TREE_DIGEST = hasher.hexdigest()
+    return _SOURCE_TREE_DIGEST
 
 
 def _np_dtype(element_type) -> np.dtype:
@@ -180,7 +219,8 @@ class KernelCache:
 
     def stats(self) -> dict:
         stats = {"hits": self.hits, "misses": self.misses,
-                 "entries": len(self._entries)}
+                 "entries": len(self._entries),
+                 "trace": dict(TRACE_COUNTERS)}
         disk_dir = self._resolve_disk_dir()
         if disk_dir is not None:
             stats.update(disk_hits=self.disk_hits,
@@ -195,10 +235,18 @@ class KernelCache:
 
     @staticmethod
     def _entry_path(directory: Path, key: Tuple) -> Path:
+        """Entry filename: ``kernel-<src digest>-<key digest>.pkl``.
+
+        The source-tree digest rides in the name twice over — as a
+        greppable prefix (so CI can prune entries no current source
+        can ever hit, see ci.yml) and folded into the key digest (so
+        collisions on the truncated prefix still cannot alias).
+        """
+        source_digest = _source_tree_digest()
         digest = hashlib.sha256(
-            repr((KERNEL_STORE_VERSION, key)).encode()
+            repr((KERNEL_STORE_VERSION, source_digest, key)).encode()
         ).hexdigest()
-        return directory / f"kernel-{digest}.pkl"
+        return directory / f"kernel-{source_digest[:12]}-{digest}.pkl"
 
     def _count_disk(self, hit: bool) -> None:
         with self._lock:
@@ -237,7 +285,7 @@ class KernelCache:
             self._count_disk(hit=False)
             return None
         self._count_disk(hit=True)
-        return CompiledKernel(
+        kernel = CompiledKernel(
             module=module,
             func_name=payload["func_name"],
             source=source,
@@ -246,6 +294,16 @@ class KernelCache:
             parameters=payload.get("parameters", {}),
             schedule_table=payload.get("schedule_table"),
         )
+        # A persisted trace (+ its decoded replay plans) lets warm
+        # processes skip both recording and synthesis; a stale schema
+        # evicts just the trace, never the lowered kernel.
+        trace = payload.get("trace")
+        if trace is not None \
+                and payload.get("trace_schema") == TRACE_SCHEMA_VERSION:
+            kernel.trace_state.trace = trace
+            kernel.trace_state.persisted = True
+            TRACE_COUNTERS["disk_loaded"] += 1
+        return kernel
 
     def _disk_store(self, key: Tuple, kernel: "CompiledKernel") -> None:
         directory = self._resolve_disk_dir()
@@ -260,6 +318,8 @@ class KernelCache:
                 "parameters": kernel.parameters,
                 "plan": kernel.plan,
                 "schedule_table": kernel.schedule_table,
+                "trace_schema": TRACE_SCHEMA_VERSION,
+                "trace": kernel.trace_state.trace,
             })
         except Exception:
             return  # unpicklable plan: stay memory-only for this entry
@@ -284,7 +344,18 @@ class KernelCache:
         kernel = self._disk_load(key)
         if kernel is None:
             kernel = compile_fn()
+            # Persist immediately (trace-less) so kernels that are
+            # compiled but never run — flow-exploration sweeps — still
+            # skip lowering next process; the persist hook below then
+            # rewrites the entry with the trace after the first replay.
+            # The double write is deliberate: entries are small and the
+            # alternative loses compile-only kernels from the store.
             self._disk_store(key, kernel)
+        if self._resolve_disk_dir() is not None:
+            # Re-persist the entry once the first run has built (and
+            # decoded) the kernel's trace, so later processes load it.
+            kernel.trace_state.persist = \
+                lambda k=kernel, key=key: self._disk_store(key, k)
         with self._lock:
             self.misses += 1
             self._entries[key] = kernel
@@ -310,12 +381,16 @@ class KernelTraceState:
     variants) share one recording.
     """
 
-    __slots__ = ("lock", "trace", "failed")
+    __slots__ = ("lock", "trace", "failed", "persist", "persisted")
 
     def __init__(self):
         self.lock = Lock()
         self.trace = None
         self.failed = False
+        #: Set by KernelCache when a disk store is active: re-persists
+        #: the entry (now carrying the trace + decoded plans) once.
+        self.persist = None
+        self.persisted = False
 
 
 @dataclass
@@ -351,10 +426,13 @@ class CompiledKernel:
         Returns the perf counter delta for this invocation.
 
         ``trace`` selects trace-compiled execution: the kernel's static
-        schedule is recorded once and replayed as batched numpy,
-        bit-identical to the per-tile path.  ``None`` (the default)
-        enables it unless ``REPRO_NO_TRACE=1``; unsupported drivers or
-        runtimes fall back to per-tile execution transparently.
+        schedule is synthesized ahead-of-time from the emitter's side
+        table (or recorded by a shadow run when synthesis cannot prove
+        the schedule — ``REPRO_NO_SYNTH=1`` forces that path) and
+        replayed as batched numpy, bit-identical to the per-tile path.
+        ``None`` (the default) enables it unless ``REPRO_NO_TRACE=1``;
+        unsupported drivers or runtimes fall back to per-tile execution
+        transparently.
         """
         rt = runtime or self.make_runtime(board)
         descriptors = [rt.make_memref(np.ascontiguousarray(a), f"arg{i}")
@@ -374,6 +452,43 @@ class CompiledKernel:
         # semantics in ways the replay executor cannot see.
         return type(rt) in (AxiRuntime, DoubleBufferedRuntime)
 
+    def _build_trace(self, specs):
+        """Synthesize the trace from the schedule table, else record.
+
+        Synthesis failing is never an error — it falls back to the
+        recording path — but ``REPRO_TRACE_CHECK=1`` records every
+        synthesized kernel as well and raises :class:`TraceMismatch`
+        if the two traces differ anywhere.
+        """
+        synthesized = None
+        if synthesis_enabled():
+            # Any synthesis failure — proven-unsupported constructs or
+            # unexpected blowups (recursion/memory on pathological
+            # schedules) — falls back to the recording path; only the
+            # recorder erring may disable tracing for the kernel.
+            try:
+                synthesized = synthesize_trace(self.schedule_table, specs)
+            except Exception:
+                TRACE_COUNTERS["synth_fallback"] += 1
+        if synthesized is not None and not cross_check_requested():
+            TRACE_COUNTERS["synthesized"] += 1
+            return synthesized
+        recorded = record_trace(
+            self.entry_point, specs,
+            expected_events=schedule_event_count(self.schedule_table),
+        )
+        if synthesized is not None:
+            mismatches = diff_traces(synthesized, recorded)
+            if mismatches:
+                raise TraceMismatch(
+                    f"synthesized trace for {self.func_name!r} differs "
+                    f"from the recorded one: {', '.join(mismatches)}"
+                )
+            TRACE_COUNTERS["synthesized"] += 1
+            return synthesized
+        TRACE_COUNTERS["recorded"] += 1
+        return recorded
+
     def _run_traced(self, board, rt, descriptors) -> bool:
         state = self.trace_state
         if state.failed:
@@ -386,12 +501,9 @@ class CompiledKernel:
                             (d.sizes, d.strides, d.itemsize, str(d.dtype))
                             for d in descriptors
                         )
-                        state.trace = record_trace(
-                            self.entry_point, specs,
-                            expected_events=schedule_event_count(
-                                self.schedule_table
-                            ),
-                        )
+                        state.trace = self._build_trace(specs)
+                    except TraceMismatch:
+                        raise  # cross-check mode fails loudly
                     except Exception:
                         # Unsupported or erroring drivers: record once,
                         # then always use the per-tile path (which will
@@ -404,6 +516,11 @@ class CompiledKernel:
                           type(rt) is DoubleBufferedRuntime)
         except TraceUnsupported:
             return False
+        if state.persist is not None and not state.persisted:
+            # First successful replay: the trace and the decoded plan
+            # for this accelerator exist now — write them through.
+            state.persisted = True
+            state.persist()
         return True
 
     def run_interpreted(self, board: Board, *arrays: np.ndarray,

@@ -1,18 +1,47 @@
-"""Execution of lowered host IR: reference interpreter + trace replay."""
+"""Execution of lowered host IR: interpreter, trace synthesis, replay."""
 
 from .interpreter import Interpreter, interpret_function
 from .trace import (
     STAGE_TIMINGS,
+    TRACE_COUNTERS,
     TraceRecorder,
     TraceUnsupported,
     record_trace,
+    reset_trace_counters,
     trace_enabled,
+)
+from .synthesize import (
+    SynthesisUnsupported,
+    TraceMismatch,
+    cross_check_requested,
+    diff_traces,
+    synthesis_enabled,
+    synthesize_trace,
 )
 from .replay import ReplayExecutor, replay_kernel
 
+
+def diagnostics() -> dict:
+    """Where execution time goes and where each kernel's trace came from.
+
+    ``stage_timings`` is cumulative wall-clock per pipeline stage for
+    this process; ``trace_sources`` counts how kernels obtained their
+    DriverTrace (synthesized / recorded / synth_fallback / disk_loaded)
+    — a benchmark run that silently fell back to recording shows up
+    here as a nonzero ``recorded`` count.
+    """
+    return {
+        "stage_timings": dict(STAGE_TIMINGS),
+        "trace_sources": dict(TRACE_COUNTERS),
+    }
+
+
 __all__ = [
     "Interpreter", "interpret_function",
-    "STAGE_TIMINGS", "TraceRecorder", "TraceUnsupported",
-    "record_trace", "trace_enabled",
+    "STAGE_TIMINGS", "TRACE_COUNTERS", "TraceRecorder", "TraceUnsupported",
+    "record_trace", "reset_trace_counters", "trace_enabled",
+    "SynthesisUnsupported", "TraceMismatch", "cross_check_requested",
+    "diff_traces", "synthesis_enabled", "synthesize_trace",
     "ReplayExecutor", "replay_kernel",
+    "diagnostics",
 ]

@@ -107,6 +107,17 @@ class ReplayExecutor:
                 raise ReplayUnsupported("argument shape changed")
         if board.caches.line_size < 8:
             raise ReplayUnsupported("sub-word cache lines")
+        if trace.init_params is None:
+            # Preinitialized (manual-driver) trace: the live engine the
+            # replay will reuse must exist and match the recorded
+            # region geometry.  Checked here — before any mutation —
+            # so execute()'s fallback guarantee holds.
+            engine = self.rt.dma
+            if engine is None:
+                raise ReplayUnsupported("runtime engine not initialized")
+            if (engine.input_region.size, engine.output_region.size) \
+                    != trace.region_sizes:
+                raise ReplayUnsupported("engine region sizes changed")
         accel = board.accelerator
         if len(accel.in_fifo) or len(accel.out_fifo):
             raise ReplayUnsupported("accelerator streams not drained")
@@ -142,6 +153,13 @@ class ReplayExecutor:
         self._finalize(cache_sim, miss_totals, push_data)
 
     def _install_engine(self) -> None:
+        if self.trace.init_params is None:
+            # Preinitialized (manual-driver) trace: dma_init already ran
+            # for real before the recorded body, so replay against the
+            # runtime's live engine (validated by _validate) instead of
+            # installing a fresh one.
+            self.engine = self.rt.dma
+            return
         dma_id, in_size, out_size = self.trace.init_params
         board = self.board
         self.engine = DmaEngine(dma_id, in_size, out_size, board.memory,

@@ -46,14 +46,46 @@ from ..accelerators.matmul import (
 #: Env kill-switch: set REPRO_NO_TRACE=1 to force per-tile execution.
 TRACE_KILL_SWITCH = "REPRO_NO_TRACE"
 
+#: On-disk DriverTrace schema version.  Folded into every kernel-store
+#: payload next to the serialized trace: bump it whenever DriverTrace,
+#: _TileClass, or DecodedPlan change shape so stale persisted traces
+#: are evicted (the kernel entry itself still loads) instead of being
+#: replayed with mismatched tables.
+TRACE_SCHEMA_VERSION = 1
+
 #: Wall-clock spent per pipeline stage, cumulative for the process.
 #: ``compile_s`` is fed by the compiler; the benchmark harness snapshots
 #: this into BENCH_perf.json so future PRs can see where time goes.
 STAGE_TIMINGS: Dict[str, float] = {
     "compile_s": 0.0,
     "trace_record_s": 0.0,
+    "trace_synth_s": 0.0,
+    "manual_record_s": 0.0,
     "replay_s": 0.0,
 }
+
+#: How each kernel's DriverTrace was obtained this process:
+#: ``synthesized`` (ahead-of-time from the schedule side table),
+#: ``recorded`` (shadow-runtime execution of the emitted driver),
+#: ``synth_fallback`` (synthesis was attempted but fell back to
+#: recording), ``disk_loaded`` (deserialized from the kernel store),
+#: ``manual_recorded`` / ``manual_fallback`` (hand-written baseline
+#: bodies: traced, or permanently per-tile because recording/replay
+#: failed — a nonzero fallback here means cpp_MANUAL silently left
+#: the batched path).
+TRACE_COUNTERS: Dict[str, int] = {
+    "synthesized": 0,
+    "recorded": 0,
+    "synth_fallback": 0,
+    "disk_loaded": 0,
+    "manual_recorded": 0,
+    "manual_fallback": 0,
+}
+
+
+def reset_trace_counters() -> None:
+    for key in TRACE_COUNTERS:
+        TRACE_COUNTERS[key] = 0
 
 
 def trace_enabled() -> bool:
@@ -147,6 +179,9 @@ class DriverTrace:
         self.kinds: np.ndarray = None
         self.num_events = 0
         self.init_params: Optional[Tuple[int, int, int]] = None
+        #: Set instead of init_params for preinitialized (manual-driver)
+        #: traces: (input_size, output_size) of the live engine.
+        self.region_sizes: Optional[Tuple[int, int]] = None
         # Per-class tile tables (send side, then recv side).
         self.send_classes: List[_TileClass] = []
         self.recv_classes: List[_TileClass] = []
@@ -181,12 +216,20 @@ class TraceRecorder:
     exactly, so the emitted driver's control/data flow is unchanged.
     """
 
-    def __init__(self, arg_specs):
+    def __init__(self, arg_specs,
+                 preinitialized: Optional[Tuple[int, int]] = None):
+        """``preinitialized=(input_size, output_size)`` records a driver
+        body whose ``dma_init`` already happened outside the recorded
+        region (the hand-written baselines initialize the engine before
+        allocating their memrefs); the resulting trace replays against
+        the runtime's live engine instead of installing a fresh one.
+        """
         self.arg_specs = arg_specs
         self.events: List[Tuple] = []
-        self.initialized = False
-        self.input_size = 0
-        self.output_size = 0
+        self.preinitialized = preinitialized is not None
+        self.initialized = self.preinitialized
+        self.input_size = preinitialized[0] if preinitialized else 0
+        self.output_size = preinitialized[1] if preinitialized else 0
 
     def make_args(self) -> List[_ShadowRef]:
         return [
@@ -270,15 +313,19 @@ class TraceRecorder:
 
 
 def record_trace(entry_point, arg_specs,
-                 expected_events: Optional[int] = None) -> DriverTrace:
+                 expected_events: Optional[int] = None,
+                 preinitialized: Optional[Tuple[int, int]] = None,
+                 stage: str = "trace_record_s") -> DriverTrace:
     """Run ``entry_point`` once against the recorder; compile the events.
 
     ``expected_events`` (from the emitter's schedule side table) cross-
     checks that the recording expanded the whole static loop nest.
+    ``stage`` names the STAGE_TIMINGS bucket charged (the hand-written
+    baselines record under ``manual_record_s``).
     """
     start = time.perf_counter()
     try:
-        recorder = TraceRecorder(arg_specs)
+        recorder = TraceRecorder(arg_specs, preinitialized=preinitialized)
         entry_point(recorder, *recorder.make_args())
         if expected_events is not None \
                 and len(recorder.events) != expected_events:
@@ -288,7 +335,7 @@ def record_trace(entry_point, arg_specs,
             )
         trace = _compile_events(recorder, arg_specs)
     finally:
-        STAGE_TIMINGS["trace_record_s"] += time.perf_counter() - start
+        STAGE_TIMINGS[stage] += time.perf_counter() - start
     return trace
 
 
@@ -384,8 +431,12 @@ def _compile_events(recorder: TraceRecorder, arg_specs) -> DriverTrace:
         else:  # pragma: no cover - recorder only emits the tags above
             raise TraceUnsupported(f"unknown event {tag!r}")
 
-    if trace.init_params is None:
+    if trace.init_params is None and not recorder.preinitialized:
         raise TraceUnsupported("driver never initialized the DMA engine")
+    if trace.init_params is None:
+        # Preinitialized body: the replay reuses the runtime's live
+        # engine, but the staged-size bounds were still enforced above.
+        trace.region_sizes = (recorder.input_size, recorder.output_size)
     # Read-after-write hazard: the replay gathers all staged tile data
     # up front, so a driver that re-sends data it received earlier in
     # the same run (an argument acting as both accelerator input and
@@ -503,53 +554,69 @@ def decode_for_accelerator(trace: DriverTrace,
 
 
 class _ItemQueue:
-    """The staged-word stream as the accelerator's state machine sees it."""
+    """The staged-word stream as the accelerator's state machine sees it.
+
+    The item tuples are unpacked once into parallel lists plus a word
+    prefix sum, so the decoders' per-item steps are plain list reads —
+    ``available_words`` is ``cum[limit] - cum[head]``, no incremental
+    bookkeeping — which matters because decoding is a per-item Python
+    loop over streams that reach hundreds of thousands of items.
+    """
+
+    __slots__ = ("n", "is_word", "values", "indices", "widths", "cum",
+                 "head", "limit", "visible")
 
     def __init__(self, items: List[Tuple]):
-        self.items = items
+        self.n = len(items)
+        self.is_word = [item[0] == "w" for item in items]
+        #: word value for "w" items, class id for "t" items.
+        self.values = [item[1] for item in items]
+        self.indices = [0 if item[0] == "w" else item[2] for item in items]
+        self.widths = [1 if item[0] == "w" else item[3] for item in items]
+        self.cum = [0] + np.cumsum(
+            np.asarray(self.widths, dtype=np.int64)
+        ).tolist()
         self.head = 0
         self.limit = 0          # items visible so far (flush boundary)
-        self.available_words = 0
+        self.visible = 0        # words visible so far
 
     def reveal(self, limit: int) -> None:
-        for item in self.items[self.limit:limit]:
-            self.available_words += 1 if item[0] == "w" else item[3]
         self.limit = limit
+        self.visible = self.cum[limit]
+
+    @property
+    def available_words(self) -> int:
+        return self.visible - self.cum[self.head]
 
     def peek_opcode(self) -> Optional[int]:
         if self.head >= self.limit:
             return None
-        item = self.items[self.head]
-        if item[0] != "w":
+        if not self.is_word[self.head]:
             raise TraceUnsupported("tile data where an opcode was expected")
-        return item[1]
+        return self.values[self.head]
 
     def pop_opcode(self) -> None:
         self.head += 1
-        self.available_words -= 1
 
     def pop_words(self, count: int) -> List[int]:
         values = []
         while len(values) < count:
             if self.head >= self.limit:
                 raise TraceUnsupported("instruction data missing")
-            item = self.items[self.head]
-            if item[0] != "w":
+            if not self.is_word[self.head]:
                 raise TraceUnsupported("tile data where words were expected")
-            values.append(item[1])
+            values.append(self.values[self.head])
             self.head += 1
-            self.available_words -= 1
         return values
 
     def pop_tile(self, words: int) -> Tuple[int, int]:
-        if self.head >= self.limit:
+        head = self.head
+        if head >= self.limit:
             raise TraceUnsupported("instruction tile missing")
-        item = self.items[self.head]
-        if item[0] != "t" or item[3] != words:
+        if self.is_word[head] or self.widths[head] != words:
             raise TraceUnsupported("staged data does not match tile shape")
-        self.head += 1
-        self.available_words -= words
-        return item[1], item[2]
+        self.head = head + 1
+        return self.values[head], self.indices[head]
 
 
 def _decode_matmul(trace: DriverTrace,

@@ -6,6 +6,17 @@ import pytest
 from repro.soc import Board, make_pynq_z2
 
 
+@pytest.fixture(autouse=True)
+def _isolate_kernel_store(monkeypatch):
+    """Unit tests manage their own disk stores via tmp_path.
+
+    CI exports REPRO_KERNEL_CACHE_DIR so the *benchmarks* reuse
+    `.repro_cache` across runs; the unit tests assert exact cache
+    stats and must not see an ambient store.
+    """
+    monkeypatch.delenv("REPRO_KERNEL_CACHE_DIR", raising=False)
+
+
 @pytest.fixture
 def board() -> Board:
     return make_pynq_z2()

@@ -28,7 +28,12 @@ class TestKernelCache:
     def test_second_compile_hits(self, cache):
         kernel_a = make_compiler(cache).compile_matmul(32, 32, 32)
         kernel_b = make_compiler(cache).compile_matmul(32, 32, 32)
-        assert cache.stats() == {"hits": 1, "misses": 1, "entries": 1}
+        stats = cache.stats()
+        trace_stats = stats.pop("trace")
+        assert stats == {"hits": 1, "misses": 1, "entries": 1}
+        assert set(trace_stats) == {"synthesized", "recorded",
+                                    "synth_fallback", "disk_loaded",
+                                    "manual_recorded", "manual_fallback"}
         assert kernel_a.entry_point is kernel_b.entry_point
         assert kernel_a.source == kernel_b.source
 
@@ -163,7 +168,7 @@ class TestDiskKernelStore:
 
     def test_stats_stay_minimal_without_store(self, cache):
         make_compiler(cache).compile_matmul(16, 16, 16)
-        assert set(cache.stats()) == {"hits", "misses", "entries"}
+        assert set(cache.stats()) == {"hits", "misses", "entries", "trace"}
 
     def test_loaded_kernel_runs_identically(self, tmp_path):
         store = str(tmp_path / "repro_cache")
@@ -199,6 +204,58 @@ class TestDiskKernelStore:
         reader = KernelCache(disk_dir=store)
         make_compiler(reader).compile_matmul(16, 16, 16)
         assert reader.disk_hits == 0  # old-format entry never loads
+
+    def _run(self, kernel, seed=33):
+        hw, _ = make_matmul_system(3, 8, flow="Ns")
+        board = make_pynq_z2()
+        board.attach_accelerator(hw)
+        rng = np.random.default_rng(seed)
+        a = rng.integers(-5, 5, (32, 32)).astype(np.int32)
+        b = rng.integers(-5, 5, (32, 32)).astype(np.int32)
+        c = np.zeros((32, 32), np.int32)
+        counters = kernel.run(board, a, b, c)
+        return counters.as_dict(), c.tobytes()
+
+    def test_trace_round_trip(self, tmp_path):
+        """Warm processes skip recording *and* synthesis entirely."""
+        from repro.execution import TRACE_COUNTERS
+
+        store = str(tmp_path / "repro_cache")
+        writer = KernelCache(disk_dir=store)
+        kernel = make_compiler(writer).compile_matmul(32, 32, 32)
+        fresh = self._run(kernel)   # first run persists the trace
+
+        before = dict(TRACE_COUNTERS)
+        reader = KernelCache(disk_dir=store)
+        loaded = make_compiler(reader).compile_matmul(32, 32, 32)
+        assert reader.disk_hits == 1
+        assert TRACE_COUNTERS["disk_loaded"] == before["disk_loaded"] + 1
+        trace = loaded.trace_state.trace
+        assert trace is not None
+        assert trace.num_events == kernel.trace_state.trace.num_events
+        # The decoded replay plan rides along with the trace.
+        assert trace.decoded
+        warmed = self._run(loaded)
+        assert warmed == fresh
+        assert TRACE_COUNTERS["synthesized"] == before["synthesized"]
+        assert TRACE_COUNTERS["recorded"] == before["recorded"]
+
+    def test_stale_trace_schema_evicts_trace_only(self, tmp_path,
+                                                  monkeypatch):
+        import repro.compiler as compiler_mod
+
+        store = str(tmp_path / "repro_cache")
+        writer = KernelCache(disk_dir=store)
+        kernel = make_compiler(writer).compile_matmul(32, 32, 32)
+        fresh = self._run(kernel)
+
+        monkeypatch.setattr(compiler_mod, "TRACE_SCHEMA_VERSION",
+                            compiler_mod.TRACE_SCHEMA_VERSION + 1)
+        reader = KernelCache(disk_dir=store)
+        loaded = make_compiler(reader).compile_matmul(32, 32, 32)
+        assert reader.disk_hits == 1      # the lowered kernel still loads
+        assert loaded.trace_state.trace is None  # stale trace evicted
+        assert self._run(loaded) == fresh  # rebuilt via synthesis
 
     def test_corrupt_entry_falls_back_to_build(self, tmp_path):
         store = tmp_path / "repro_cache"

@@ -1,0 +1,73 @@
+"""Unit tests for the CI perf-regression guard (benchmarks/perf_guard.py)."""
+
+import importlib.util
+from pathlib import Path
+
+_SPEC = importlib.util.spec_from_file_location(
+    "perf_guard",
+    Path(__file__).resolve().parent.parent / "benchmarks" / "perf_guard.py",
+)
+perf_guard = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(perf_guard)
+
+
+def _record(total, harnesses=None, stages=None):
+    return {
+        "benchmarks_total_s": total,
+        "per_harness_s": harnesses or {},
+        "per_stage_s": stages or {},
+    }
+
+
+class TestTotalsAndHarnesses:
+    def test_identical_records_pass(self):
+        baseline = _record(10.0, {"a": 6.0, "b": 3.0, "c": 1.0})
+        assert perf_guard.compare(baseline, baseline, 1.25) == []
+
+    def test_total_regression_fails(self):
+        baseline = _record(10.0)
+        fresh = _record(14.0)
+        failures = perf_guard.compare(baseline, fresh, 1.25)
+        assert any("total" in f for f in failures)
+
+    def test_slowest_harness_regression_fails(self):
+        baseline = _record(10.0, {"big": 6.0, "small": 0.1})
+        fresh = _record(10.0, {"big": 9.0, "small": 0.1})
+        failures = perf_guard.compare(baseline, fresh, 1.25)
+        assert any("big" in f for f in failures)
+
+
+class TestStageGuard:
+    def test_stage_regression_fails(self):
+        base = {"replay_s": 6.0, "compile_s": 0.4}
+        fresh = {"replay_s": 9.0, "compile_s": 0.4}
+        failures = perf_guard.compare_stages(base, fresh, 1.25)
+        assert any("replay_s" in f for f in failures)
+
+    def test_stage_within_threshold_passes(self):
+        base = {"replay_s": 6.0, "trace_synth_s": 1.0}
+        fresh = {"replay_s": 6.5, "trace_synth_s": 1.1}
+        assert perf_guard.compare_stages(base, fresh, 1.25) == []
+
+    def test_near_zero_stage_growing_fails(self):
+        """trace_record_s creeping back up must trip the guard even
+        though its baseline ratio is meaningless."""
+        base = {"trace_record_s": 0.0}
+        fresh = {"trace_record_s": 2.5}
+        failures = perf_guard.compare_stages(base, fresh, 1.25)
+        assert any("trace_record_s" in f for f in failures)
+
+    def test_near_zero_stage_staying_small_passes(self):
+        base = {"trace_record_s": 0.0}
+        fresh = {"trace_record_s": 0.05}
+        assert perf_guard.compare_stages(base, fresh, 1.25) == []
+
+    def test_missing_guarded_stage_fails(self):
+        base = {"replay_s": 6.0}
+        failures = perf_guard.compare_stages(base, {}, 1.25)
+        assert any("missing" in f for f in failures)
+
+    def test_new_fresh_stage_is_ignored(self):
+        base = {"replay_s": 6.0}
+        fresh = {"replay_s": 6.0, "brand_new_s": 99.0}
+        assert perf_guard.compare_stages(base, fresh, 1.25) == []

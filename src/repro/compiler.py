@@ -32,6 +32,10 @@ from .codegen import (
 )
 from .dialects import func, linalg
 from .execution import interpret_function
+from .execution.metrics import (
+    METRICS_PLAN_COUNTERS,
+    METRICS_PLAN_SCHEMA_VERSION,
+)
 from .execution.replay import replay_kernel
 from .execution.synthesize import (
     TraceMismatch,
@@ -220,7 +224,7 @@ class KernelCache:
     def stats(self) -> dict:
         stats = {"hits": self.hits, "misses": self.misses,
                  "entries": len(self._entries),
-                 "trace": dict(TRACE_COUNTERS)}
+                 "trace": {**TRACE_COUNTERS, **METRICS_PLAN_COUNTERS}}
         disk_dir = self._resolve_disk_dir()
         if disk_dir is not None:
             stats.update(disk_hits=self.disk_hits,
@@ -301,14 +305,27 @@ class KernelCache:
         if trace is not None \
                 and payload.get("trace_schema") == TRACE_SCHEMA_VERSION:
             kernel.trace_state.trace = trace
-            kernel.trace_state.persisted = True
             TRACE_COUNTERS["disk_loaded"] += 1
+            # MetricsPlans ride in their own payload slot with their own
+            # schema version: a stale metrics schema evicts just the
+            # plans (the trace and the lowered kernel still load), and
+            # plans are only ever attached to the trace they were built
+            # against.  An entry whose plans were evicted (or never
+            # written) is NOT marked persisted, so the first replay's
+            # persist hook rewrites it with current-schema plans.
+            plans = payload.get("metrics_plans")
+            plans_current = bool(plans) and payload.get("metrics_schema") \
+                == METRICS_PLAN_SCHEMA_VERSION
+            if plans_current:
+                trace.metrics_plans.update(plans)
+            kernel.trace_state.persisted = plans_current
         return kernel
 
     def _disk_store(self, key: Tuple, kernel: "CompiledKernel") -> None:
         directory = self._resolve_disk_dir()
         if directory is None:
             return
+        trace = kernel.trace_state.trace
         try:
             payload = pickle.dumps({
                 "store_version": KERNEL_STORE_VERSION,
@@ -319,7 +336,13 @@ class KernelCache:
                 "plan": kernel.plan,
                 "schedule_table": kernel.schedule_table,
                 "trace_schema": TRACE_SCHEMA_VERSION,
-                "trace": kernel.trace_state.trace,
+                "trace": trace,
+                # The trace's own pickle excludes metrics_plans (see
+                # DriverTrace.__getstate__); they persist here under
+                # their own schema so stale plans evict independently.
+                "metrics_schema": METRICS_PLAN_SCHEMA_VERSION,
+                "metrics_plans": dict(trace.metrics_plans)
+                if trace is not None else None,
             })
         except Exception:
             return  # unpicklable plan: stay memory-only for this entry

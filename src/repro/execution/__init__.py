@@ -18,6 +18,15 @@ from .synthesize import (
     synthesis_enabled,
     synthesize_trace,
 )
+from .metrics import (
+    METRICS_PLAN_COUNTERS,
+    METRICS_PLAN_SCHEMA_VERSION,
+    MetricsPlan,
+    MetricsPlanMismatch,
+    metrics_check_requested,
+    metrics_plan_enabled,
+    reset_metrics_plan_counters,
+)
 from .replay import ReplayExecutor, replay_kernel
 
 
@@ -28,11 +37,15 @@ def diagnostics() -> dict:
     this process; ``trace_sources`` counts how kernels obtained their
     DriverTrace (synthesized / recorded / synth_fallback / disk_loaded)
     — a benchmark run that silently fell back to recording shows up
-    here as a nonzero ``recorded`` count.
+    here as a nonzero ``recorded`` count.  ``metrics_plan`` counts how
+    replays obtained their metrics plane (cached-plan hits, fresh
+    builds, kill-switch fallbacks) — a nonzero
+    ``metrics_plan_fallback`` means the plan path was bypassed.
     """
     return {
         "stage_timings": dict(STAGE_TIMINGS),
         "trace_sources": dict(TRACE_COUNTERS),
+        "metrics_plan": dict(METRICS_PLAN_COUNTERS),
     }
 
 
@@ -42,6 +55,9 @@ __all__ = [
     "record_trace", "reset_trace_counters", "trace_enabled",
     "SynthesisUnsupported", "TraceMismatch", "cross_check_requested",
     "diff_traces", "synthesis_enabled", "synthesize_trace",
+    "METRICS_PLAN_COUNTERS", "METRICS_PLAN_SCHEMA_VERSION", "MetricsPlan",
+    "MetricsPlanMismatch", "metrics_check_requested",
+    "metrics_plan_enabled", "reset_metrics_plan_counters",
     "ReplayExecutor", "replay_kernel",
     "diagnostics",
 ]

@@ -1,0 +1,913 @@
+"""The replay metrics plane: a cached, serializable ``MetricsPlan``.
+
+The generated host drivers have fully static schedules, so every
+performance-model quantity a replay produces — per-event copy costs,
+cache hit/miss classification, the clock/stall timeline, the LRU
+end-state, DMA/accelerator statistics, and the last-writer maps of the
+DMA staging regions — is a pure function of the
+:class:`~repro.execution.trace.DriverTrace`, the decoded instruction
+plan, the runtime configuration (timing model, cache geometry, copy and
+call styles, double buffering), the simulated address layout, and the
+board state the invocation starts from.  Only the tile *payloads* depend
+on input data.
+
+This module evaluates that function once per ``(trace, runtime-config
+fingerprint)`` into a :class:`MetricsPlan`: precomputed counter totals,
+the absolute timeline end-state, the cache LRU end-state, and
+region-write summaries.  Subsequent invocations with a matching
+fingerprint apply the plan in O(state) — an import of the final cache
+ways plus a handful of scalar assignments — instead of re-simulating
+O(events) work.  Plans are persisted alongside traces in the kernel
+store under their own schema version (see ``repro.compiler``), so warm
+processes skip the metrics plane entirely.
+
+Switches:
+
+* ``REPRO_NO_METRICS_PLAN=1`` — kill switch: the metrics plane is
+  recomputed live on every invocation (counted as ``fallback``);
+* ``REPRO_METRICS_CHECK=1`` — cross-check mode: every cached-plan hit
+  *also* rebuilds the plan from the live metrics plane and raises
+  :class:`MetricsPlanMismatch` on any divergence.
+
+Bit-identity: a plan is only ever applied when the fingerprint —
+covering every input of the metrics plane, including the floating-point
+timeline start state and a digest of the exact cache LRU contents —
+matches, and the build itself performs the same operation sequence as
+the per-tile runtime, so plan application is bit-identical to the live
+computation by determinism.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import time
+from dataclasses import astuple
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..runtime.copy import CopyKinds, copy_charge_terms, plan_for_geometry
+from ..soc.cache import OfflineLruSimulator, _export_ways
+from .trace import (
+    K_CALL,
+    K_COPY,
+    K_FLUSH,
+    K_INIT,
+    K_LOOP,
+    K_RECV,
+    K_RWAIT,
+    K_SUB,
+    K_WORD,
+    STAGE_TIMINGS,
+)
+
+#: Kill switch: set REPRO_NO_METRICS_PLAN=1 to recompute the metrics
+#: plane live on every invocation (no caching, no persistence).
+METRICS_PLAN_KILL_SWITCH = "REPRO_NO_METRICS_PLAN"
+
+#: Cross-check mode: set REPRO_METRICS_CHECK=1 to rebuild the plan on
+#: every cache hit and raise MetricsPlanMismatch on divergence.
+METRICS_CHECK_ENV = "REPRO_METRICS_CHECK"
+
+#: On-disk MetricsPlan schema version.  Persisted next to (but
+#: independent of) the trace in every kernel-store payload: bump it
+#: whenever MetricsPlan changes shape so stale persisted plans are
+#: evicted (the trace and the lowered kernel still load).
+METRICS_PLAN_SCHEMA_VERSION = 1
+
+#: How replays obtained their metrics plane this process:
+#: ``hits`` (a cached plan applied in O(state)), ``misses`` (built from
+#: the live metrics plane, then cached), ``fallback`` (the kill switch
+#: forced a live computation; a nonzero value under benchmark configs
+#: means the plan path was silently bypassed).
+METRICS_PLAN_COUNTERS: Dict[str, int] = {
+    "metrics_plan_hits": 0,
+    "metrics_plan_misses": 0,
+    "metrics_plan_fallback": 0,
+}
+
+#: Cached plans kept per trace (distinct board states/layouts).
+_MAX_PLANS_PER_TRACE = 8
+
+#: Upper bound on cache-line stream entries classified per chunk.
+_LINE_CHUNK = 1 << 24
+
+
+def metrics_plan_enabled() -> bool:
+    return os.environ.get(METRICS_PLAN_KILL_SWITCH, "") != "1"
+
+
+def metrics_check_requested() -> bool:
+    return os.environ.get(METRICS_CHECK_ENV, "") == "1"
+
+
+def reset_metrics_plan_counters() -> None:
+    for key in METRICS_PLAN_COUNTERS:
+        METRICS_PLAN_COUNTERS[key] = 0
+
+
+class MetricsPlanMismatch(RuntimeError):
+    """A cached MetricsPlan diverged from the live metrics plane."""
+
+
+class MetricsPlan:
+    """The metrics plane of one replay, evaluated to its end-state.
+
+    Everything here is data-independent: absolute timeline end values
+    (bound to the start state via the fingerprint), exact integer
+    counter deltas, the cache LRU end-state in way-array form, and the
+    last-writer summaries of the DMA staging regions (index maps only —
+    the data plane supplies the payload bytes at apply time).
+    """
+
+    __slots__ = (
+        "final_state", "l1_ways", "l2_ways",
+        "l1_hits_d", "l1_misses_d", "l2_hits_d", "l2_misses_d",
+        "l1_miss_total", "l2_miss_total", "stats",
+        "input_word_dest", "input_word_values", "input_tile_writes",
+        "output_writes",
+    )
+
+    def __init__(self):
+        #: [cpu_cycles, branch_instructions, cache_references,
+        #:  stall_cycles, accel_cycles, clock, accel_ready_at,
+        #:  dma_busy_until, accel.total_cycles] — absolute end values.
+        self.final_state: np.ndarray = None
+        #: Final LRU contents as way arrays (MRU first, -1 empty slot) —
+        #: the order-explicit, compactly serializable form; applying
+        #: expands them into Cache._sets dicts in one O(state) pass.
+        self.l1_ways: np.ndarray = None
+        self.l2_ways: np.ndarray = None
+        self.l1_hits_d = 0
+        self.l1_misses_d = 0
+        self.l2_hits_d = 0
+        self.l2_misses_d = 0
+        self.l1_miss_total = 0
+        self.l2_miss_total = 0
+        #: Exact integer deltas for counters / accelerator / engine.
+        self.stats: Dict[str, int] = {}
+        self.input_word_dest: np.ndarray = None
+        self.input_word_values: np.ndarray = None
+        #: Per send class: (class_id, tile_indices, dest_word_positions,
+        #: flat source positions into the gathered (tiles, words) block).
+        self.input_tile_writes: List[Tuple] = []
+        #: Per winning receive: (ordinal, dest_word_positions,
+        #: source word positions within the pushed payload).
+        self.output_writes: List[Tuple] = []
+
+    def __getstate__(self):
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def __setstate__(self, state):
+        for name in self.__slots__:
+            setattr(self, name, state[name])
+
+
+def diff_plans(left: MetricsPlan, right: MetricsPlan) -> List[str]:
+    """Field names on which two plans differ (bitwise-exact compare)."""
+    problems = []
+
+    def arrays_equal(a, b) -> bool:
+        a, b = np.asarray(a), np.asarray(b)
+        return (a.shape == b.shape and a.dtype == b.dtype
+                and a.tobytes() == b.tobytes())
+
+    for name in ("final_state", "l1_ways", "l2_ways", "input_word_dest",
+                 "input_word_values"):
+        if not arrays_equal(getattr(left, name), getattr(right, name)):
+            problems.append(name)
+    for name in ("l1_hits_d", "l1_misses_d", "l2_hits_d", "l2_misses_d",
+                 "l1_miss_total", "l2_miss_total", "stats"):
+        if getattr(left, name) != getattr(right, name):
+            problems.append(name)
+    for name in ("input_tile_writes", "output_writes"):
+        lw, rw = getattr(left, name), getattr(right, name)
+        if len(lw) != len(rw):
+            problems.append(name)
+            continue
+        for entry_l, entry_r in zip(lw, rw):
+            if entry_l[0] != entry_r[0] or not all(
+                arrays_equal(a, b)
+                for a, b in zip(entry_l[1:], entry_r[1:])
+            ):
+                problems.append(name)
+                break
+    return problems
+
+
+# -- fingerprinting ---------------------------------------------------------
+
+def _cache_digest(cache) -> bytes:
+    """Exact digest of one cache's LRU contents (order included)."""
+    if cache.hits == 0 and cache.misses == 0:
+        # Never accessed since construction/reset: all sets are empty.
+        return b"cold"
+    return _export_ways(cache).tobytes()
+
+
+def plan_fingerprint(ex, decode_key: Tuple) -> str:
+    """Digest of every metrics-plane input for one replay invocation."""
+    board = ex.board
+    caches = board.caches
+    counters = board.counters
+    config = (
+        METRICS_PLAN_SCHEMA_VERSION,
+        decode_key,
+        astuple(board.timing),
+        (caches.l1.size_bytes, caches.l1.line_size, caches.l1.associativity),
+        (caches.l2.size_bytes, caches.l2.line_size, caches.l2.associativity),
+        caches.line_size,
+        ex.rt.copy_style,
+        ex.rt._call_cost,
+        bool(ex.double_buffered),
+        tuple((d.base_address, d.offset) for d in ex.descriptors),
+        (ex.engine.input_region.base, ex.engine.input_region.size,
+         ex.engine.output_region.base, ex.engine.output_region.size),
+        ex.trace.init_params is None,
+    )
+    state = (
+        counters.cpu_cycles, counters.branch_instructions,
+        counters.cache_references, counters.stall_cycles,
+        counters.accel_cycles, board.clock, board.accel_ready_at,
+        board.dma_busy_until, board.accelerator.total_cycles,
+    )
+    digest = hashlib.sha256(pickle.dumps((config, state), protocol=4))
+    digest.update(_cache_digest(caches.l1))
+    digest.update(_cache_digest(caches.l2))
+    return digest.hexdigest()
+
+
+# -- plan acquisition -------------------------------------------------------
+
+def obtain_plan(ex, decode_key: Tuple) -> MetricsPlan:
+    """Look up (or build and cache) the MetricsPlan for one invocation."""
+    trace = ex.trace
+    if not metrics_plan_enabled():
+        METRICS_PLAN_COUNTERS["metrics_plan_fallback"] += 1
+        return _timed_build(ex)
+    key = plan_fingerprint(ex, decode_key)
+    cached = trace.metrics_plans.get(key)
+    if cached is not None:
+        trace.metrics_plans.move_to_end(key)
+        METRICS_PLAN_COUNTERS["metrics_plan_hits"] += 1
+        if metrics_check_requested():
+            problems = diff_plans(cached, _timed_build(ex))
+            if problems:
+                raise MetricsPlanMismatch(
+                    "cached MetricsPlan diverges from the live metrics "
+                    "plane on: " + ", ".join(problems)
+                )
+        return cached
+    METRICS_PLAN_COUNTERS["metrics_plan_misses"] += 1
+    plan = _timed_build(ex)
+    trace.metrics_plans[key] = plan
+    while len(trace.metrics_plans) > _MAX_PLANS_PER_TRACE:
+        trace.metrics_plans.popitem(last=False)
+    return plan
+
+
+def _timed_build(ex) -> MetricsPlan:
+    start = time.perf_counter()
+    try:
+        return build_plan(ex)
+    finally:
+        STAGE_TIMINGS["metrics_plan_build_s"] += time.perf_counter() - start
+
+
+# -- plan application -------------------------------------------------------
+
+def apply_plan(ex, plan: MetricsPlan) -> None:
+    """Install the metrics end-state into board/caches/accel/engine.
+
+    O(state): scalar assignments plus the cache-ways import.  The data
+    plane (tile scatter, region payload writes) is not touched here.
+    """
+    start = time.perf_counter()
+    board = ex.board
+    counters = board.counters
+    fs = plan.final_state
+    counters.cpu_cycles = fs[0]
+    counters.branch_instructions = fs[1]
+    counters.cache_references = fs[2]
+    counters.stall_cycles = fs[3]
+    counters.accel_cycles = fs[4]
+    board.clock = fs[5]
+    board.accel_ready_at = fs[6]
+    board.dma_busy_until = fs[7]
+    board.accelerator.total_cycles = fs[8]
+
+    stats = plan.stats
+    counters.cache_misses += plan.l1_miss_total
+    counters.l2_references += plan.l1_miss_total
+    counters.l2_misses += plan.l2_miss_total
+    counters.dma_transactions += stats["dma_transactions"]
+    counters.dma_bytes_to_accel += stats["dma_bytes_to_accel"]
+    counters.dma_bytes_from_accel += stats["dma_bytes_from_accel"]
+
+    caches = board.caches
+    _install_ways(caches.l1, plan.l1_ways)
+    _install_ways(caches.l2, plan.l2_ways)
+    caches.l1.hits += plan.l1_hits_d
+    caches.l1.misses += plan.l1_misses_d
+    caches.l2.hits += plan.l2_hits_d
+    caches.l2.misses += plan.l2_misses_d
+
+    accel = board.accelerator
+    accel.instructions_executed += stats["accel_instructions"]
+    accel.in_fifo.total_words_pushed += stats["in_fifo_words"]
+    accel.in_fifo.total_transactions += stats["in_fifo_transactions"]
+    accel.out_fifo.total_words_pushed += stats["out_fifo_words"]
+    accel.out_fifo.total_transactions += stats["out_fifo_transactions"]
+    engine = ex.engine
+    engine.transactions += stats["engine_transactions"]
+    engine.bytes_sent += stats["dma_bytes_to_accel"]
+    engine.bytes_received += stats["dma_bytes_from_accel"]
+    STAGE_TIMINGS["metrics_plan_apply_s"] += time.perf_counter() - start
+
+
+# -- plan construction ------------------------------------------------------
+
+def build_plan(ex) -> MetricsPlan:
+    """Evaluate the live metrics plane for one invocation into a plan.
+
+    Reads board/cache/engine state but mutates nothing — the caller
+    applies the result (and may instead diff it against a cached plan).
+    """
+    trace = ex.trace
+    decoded = ex.plan
+    board = ex.board
+    plan = MetricsPlan()
+
+    (counts, base_c, base_b, base_r, extra_c, extra_r,
+     groups) = _copy_cost_tables(ex)
+    (l1_hits_ev, l1_miss_ev, l2_miss_ev, l1_ways, l2_ways,
+     totals) = _classify_cache(ex, counts, groups)
+    plan.l1_ways = l1_ways
+    plan.l2_ways = l2_ways
+    (plan.l1_hits_d, plan.l1_misses_d,
+     plan.l2_hits_d, plan.l2_misses_d) = totals
+    plan.l1_miss_total = plan.l1_misses_d
+    plan.l2_miss_total = plan.l2_misses_d
+
+    timing = board.timing
+    penalty = l1_hits_ev * timing.l1_hit_extra_cycles
+    penalty = penalty + l1_miss_ev * timing.l1_miss_penalty_cycles
+    penalty = penalty + l2_miss_ev * timing.l2_miss_penalty_cycles
+
+    # Final per-event cycles, with the same add chain as the live
+    # charge paths (all quantities are exactly-representable sums,
+    # so elementwise evaluation is bit-identical).
+    kinds = trace.kinds
+    cyc = base_c
+    copy_mask = kinds == K_COPY
+    cyc = np.where(copy_mask, cyc + extra_c, cyc)
+    word_mask = kinds == K_WORD
+    cyc[word_mask] = 2.0
+    cyc = cyc + penalty
+
+    plan.final_state = _run_timeline(ex, cyc, base_b, base_r, extra_r)
+
+    plan.stats = {
+        "dma_transactions": len(trace.flush_pos) + len(trace.recv_pos),
+        "dma_bytes_to_accel": int(trace.flush_bytes.sum()),
+        "dma_bytes_from_accel": int(trace.recv_bytes.sum()),
+        "accel_instructions": int(np.sum(decoded.flush_instructions)),
+        "in_fifo_words": int(trace.flush_bytes.sum()) // 4,
+        "in_fifo_transactions": len(trace.flush_bytes),
+        "out_fifo_words": int(np.sum(decoded.out_words_per_push)),
+        "out_fifo_transactions": len(decoded.out_words_per_push),
+        "engine_transactions": (len(trace.flush_bytes)
+                                + len(trace.recv_bytes)),
+    }
+
+    _input_winners(ex, plan)
+    _output_winners(ex, plan)
+    return plan
+
+
+def _copy_cost_tables(ex):
+    """Per-copy-event base costs and line-sequence blocks.
+
+    Every quantity is computed with the same floating-point expressions
+    as ``charge_memref_copy`` — per alignment group, via the shared
+    memoized copy plans.
+    """
+    trace = ex.trace
+    board = ex.board
+    timing = board.timing
+    line = board.caches.line_size
+    style = ex.rt.copy_style
+    region_bases = {False: ex.engine.input_region.base,
+                    True: ex.engine.output_region.base}
+
+    M = trace.num_events
+    counts = np.zeros(M, dtype=np.int64)
+    counts[trace.word_pos] = 1
+    base_c = np.zeros(M)
+    base_b = np.zeros(M)
+    base_r = np.zeros(M)
+    extra_c = np.zeros(M)
+    extra_r = np.zeros(M)
+    groups = []  # (event_pos, src_lines, dst_lines, plan)
+
+    for is_recv, classes in ((False, trace.send_classes),
+                             (True, trace.recv_classes)):
+        region_base = region_bases[is_recv]
+        for tile_class in classes:
+            desc = ex.descriptors[tile_class.arg]
+            sizes = tile_class.sizes
+            strides = tile_class.strides
+            itemsize = tile_class.itemsize
+            rank = len(sizes)
+            if rank:
+                row_length = sizes[-1]
+                inner_stride = strides[-1]
+            else:
+                row_length, inner_stride = 1, 1
+            use_fast = style == CopyKinds.SPECIALIZED \
+                and inner_stride == 1
+            row_bytes = row_length * itemsize
+            span_src = row_bytes if use_fast else \
+                ((row_length - 1) * abs(inner_stride) + 1) * itemsize
+            src_start = (desc.base_address
+                         + (desc.offset + tile_class.starts) * itemsize)
+            dst_start = region_base + tile_class.region_offsets
+            src_align = src_start % line
+            dst_align = dst_start % line
+            align_key = src_align * line + dst_align
+            uniq, inverse = np.unique(align_key, return_inverse=True)
+            accumulate = bool(tile_class.accumulate)
+            for g, key in enumerate(uniq):
+                sel = inverse == g
+                copy_plan = plan_for_geometry(
+                    sizes, strides, itemsize, int(key // line),
+                    int(key % line), span_src, row_bytes, line,
+                )
+                pos = tile_class.event_pos[sel]
+                counts[pos] = copy_plan.num_lines
+                c0, r0, b0, c_extra, r_extra = copy_charge_terms(
+                    copy_plan, style, use_fast, row_length, accumulate,
+                    timing,
+                )
+                base_c[pos] = c0
+                base_b[pos] = b0
+                base_r[pos] = r0
+                if accumulate:
+                    extra_c[pos] = c_extra
+                    extra_r[pos] = r_extra
+                groups.append((pos, src_start[sel] // line,
+                               dst_start[sel] // line, copy_plan))
+    return counts, base_c, base_b, base_r, extra_c, extra_r, groups
+
+
+def _fill_columns(copy_plan):
+    """Per-column (from_dst, relative-line) arrays of one copy plan.
+
+    Column ``j`` of a copy event's line block is ``src + rel[j]`` or
+    ``dst + rel[j]`` depending on ``from_dst[j]`` — the permuted
+    flattening of the plan's src/dst relative-line sequences.  Memoized
+    on the (globally shared) copy-plan object.
+    """
+    cols = getattr(copy_plan, "_fill_columns", None)
+    if cols is None:
+        n_src = copy_plan.src_rel.size
+        rel = np.ascontiguousarray(np.concatenate(
+            [copy_plan.src_rel, copy_plan.dst_rel]
+        )[copy_plan.perm])
+        from_dst = np.ascontiguousarray(
+            (copy_plan.perm >= n_src).astype(np.uint8)
+        )
+        cols = (from_dst, rel)
+        copy_plan._fill_columns = cols
+    return cols
+
+
+def _chunked_line_streams(ex, counts, groups):
+    """Yield (e0, e1, boundaries, lines) chunks of the global stream."""
+    from ..soc import _native
+
+    trace = ex.trace
+    line = ex.board.caches.line_size
+    M = trace.num_events
+    boundaries = np.zeros(M + 1, dtype=np.int64)
+    np.cumsum(counts, out=boundaries[1:])
+    word_lines = (ex.engine.input_region.base
+                  + trace.word_offsets) // line
+    lib = _native.native_lib()
+
+    chunk_edges = [0]
+    while chunk_edges[-1] < M:
+        target = boundaries[chunk_edges[-1]] + _LINE_CHUNK
+        nxt = int(np.searchsorted(boundaries, target, side="right")) - 1
+        chunk_edges.append(max(nxt, chunk_edges[-1] + 1))
+    one_chunk = len(chunk_edges) == 2
+    for e0, e1 in zip(chunk_edges[:-1], chunk_edges[1:]):
+        lo, hi = int(boundaries[e0]), int(boundaries[e1])
+        if hi == lo:
+            continue
+        lines = np.empty(hi - lo, dtype=np.int64)
+        w_sel = (trace.word_pos >= e0) & (trace.word_pos < e1)
+        if w_sel.any():
+            lines[boundaries[trace.word_pos[w_sel]] - lo] = \
+                word_lines[w_sel]
+        for pos, src_lines, dst_lines, copy_plan in groups:
+            if one_chunk:
+                sub_pos, sub_src, sub_dst = pos, src_lines, dst_lines
+            else:
+                sel = (pos >= e0) & (pos < e1)
+                if not sel.any():
+                    continue
+                sub_pos = pos[sel]
+                sub_src = src_lines[sel]
+                sub_dst = dst_lines[sel]
+            if not sub_pos.size:
+                continue
+            if lib is not None:
+                import ctypes
+
+                i64p = ctypes.POINTER(ctypes.c_int64)
+                from_dst, rel = _fill_columns(copy_plan)
+                slots = np.ascontiguousarray(boundaries[sub_pos] - lo)
+                lib.fill_copy_lines(
+                    slots.ctypes.data_as(i64p), slots.size,
+                    np.ascontiguousarray(sub_src).ctypes.data_as(i64p),
+                    np.ascontiguousarray(sub_dst).ctypes.data_as(i64p),
+                    from_dst.ctypes.data_as(
+                        ctypes.POINTER(ctypes.c_uint8)),
+                    rel.ctypes.data_as(i64p), copy_plan.num_lines,
+                    lines.ctypes.data_as(i64p),
+                )
+                continue
+            left = sub_src[:, None] + copy_plan.src_rel[None, :]
+            right = sub_dst[:, None] + copy_plan.dst_rel[None, :]
+            block = np.hstack([left, right]).take(copy_plan.perm, axis=1)
+            idx = (boundaries[sub_pos, None] - lo
+                   + np.arange(copy_plan.num_lines,
+                               dtype=np.int64)[None, :])
+            lines[idx] = block
+        yield e0, e1, boundaries, lines
+
+
+def _classify_cache(ex, counts, groups):
+    """Classify the whole run's cache traffic without mutating state.
+
+    Returns per-event (l1_hits, l1_miss, l2_miss) plus the final LRU
+    set dicts and (l1_hits, l1_misses, l2_hits, l2_misses) totals.
+    """
+    from ..soc import _native  # late bind: tests patch native_lib
+
+    board = ex.board
+    l1, l2 = board.caches.l1, board.caches.l2
+    M = ex.trace.num_events
+    l1_hits = np.zeros(M, dtype=np.int64)
+    l1_miss = np.zeros(M, dtype=np.int64)
+    l2_miss = np.zeros(M, dtype=np.int64)
+
+    lib = _native.native_lib()
+    if lib is not None:
+        import ctypes
+
+        i64p = ctypes.POINTER(ctypes.c_int64)
+        ways1 = _export_ways(l1)
+        ways2 = _export_ways(l2)
+        for e0, e1, boundaries, lines in \
+                _chunked_line_streams(ex, counts, groups):
+            bounds = np.ascontiguousarray(
+                boundaries[e0:e1 + 1] - boundaries[e0]
+            )
+            lib.lru_hierarchy_events(
+                lines.ctypes.data_as(i64p), bounds.ctypes.data_as(i64p),
+                e1 - e0,
+                ways1.ctypes.data_as(i64p), l1.num_sets, l1.associativity,
+                -1 if l1.set_mask is None else l1.set_mask,
+                ways2.ctypes.data_as(i64p), l2.num_sets, l2.associativity,
+                -1 if l2.set_mask is None else l2.set_mask,
+                l1_hits[e0:e1].ctypes.data_as(i64p),
+                l1_miss[e0:e1].ctypes.data_as(i64p),
+                l2_miss[e0:e1].ctypes.data_as(i64p),
+            )
+        l1_hit_total = int(l1_hits.sum())
+        l1_miss_total = int(l1_miss.sum())
+        l2_miss_total = int(l2_miss.sum())
+        totals = (l1_hit_total, l1_miss_total,
+                  l1_miss_total - l2_miss_total, l2_miss_total)
+        return l1_hits, l1_miss, l2_miss, ways1, ways2, totals
+
+    # Python fallback: the offline stack-distance classifier, with the
+    # per-event attribution recovered by bincount over event ids.
+    sim = OfflineLruSimulator(board.caches)
+    for e0, e1, boundaries, lines in \
+            _chunked_line_streams(ex, counts, groups):
+        event_ids = np.repeat(np.arange(e1 - e0), counts[e0:e1])
+        l1_hit_mask, l2_hit_mask = sim.process(lines)
+        miss_events = event_ids[~l1_hit_mask]
+        span = e1 - e0
+        l1_hits[e0:e1] += np.bincount(event_ids[l1_hit_mask],
+                                      minlength=span)
+        l1_miss[e0:e1] += np.bincount(miss_events, minlength=span)
+        l2_miss[e0:e1] += np.bincount(miss_events[~l2_hit_mask],
+                                      minlength=span)
+    ways1 = _ways_from_sim_state(l1, sim._state[l1.name])
+    ways2 = _ways_from_sim_state(l2, sim._state[l2.name])
+    c1, c2 = sim._counts[l1.name], sim._counts[l2.name]
+    totals = (c1[0], c1[1], c2[0], c2[1])
+    return l1_hits, l1_miss, l2_miss, ways1, ways2, totals
+
+
+def _ways_from_sim_state(cache, state) -> np.ndarray:
+    """Way-array form (MRU first, -1 empty) of a simulator state dict."""
+    assoc = cache.associativity
+    ways = np.full(cache.num_sets * assoc, -1, dtype=np.int64)
+    for index, resident in state.items():
+        if resident:
+            stack = list(resident)  # LRU -> MRU
+            stack.reverse()
+            ways[index * assoc:index * assoc + len(stack)] = stack
+    return ways
+
+
+def _install_ways(cache, ways: np.ndarray) -> None:
+    """Expand a way array into Cache._sets (insertion = LRU -> MRU).
+
+    Occupied slots always form a prefix of each row (the exporters fill
+    from slot 0 and the LRU state machines shift-insert at the MRU end),
+    so per-row occupancy counts replace per-slot filtering.
+    """
+    assoc = cache.associativity
+    grid = ways.reshape(cache.num_sets, assoc)
+    occupancy = (grid >= 0).sum(axis=1).tolist()
+    rows = grid.tolist()
+    sets = cache._sets
+    for i, occ in enumerate(occupancy):
+        if occ == assoc:
+            row = rows[i]
+            row.reverse()
+            sets[i] = dict.fromkeys(row)
+        elif occ:
+            sets[i] = dict.fromkeys(rows[i][occ - 1::-1])
+        else:
+            sets[i] = {}
+
+
+def _run_timeline(ex, cyc, br, rf, rf2) -> np.ndarray:
+    """The exact sequential timeline; returns the 9-float end state."""
+    from ..soc import _native
+
+    trace = ex.trace
+    board = ex.board
+    timing = board.timing
+    counters = board.counters
+    decoded = ex.plan
+    M = trace.num_events
+
+    kinds = trace.kinds
+    call_c, call_b = ex.rt._call_cost
+    init_cycles = timing.dma_init_s * timing.cpu_freq_hz
+    sel = kinds == K_LOOP
+    cyc[sel] = timing.loop_iteration_cycles
+    br[sel] = timing.loop_iteration_branches
+    cyc[kinds == K_SUB] = timing.subview_cycles
+    sel = kinds == K_CALL
+    cyc[sel] = call_c
+    br[sel] = call_b
+    sel = kinds == K_INIT
+    cyc[sel] = init_cycles
+    br[sel] = init_cycles / 100.0
+    rf[kinds == K_WORD] = 1.0
+    sync = np.zeros(M, dtype=np.int8)
+    sync[kinds == K_FLUSH] = 1
+    sync[kinds == K_RECV] = 2
+    if ex.double_buffered:
+        sync[kinds == K_RWAIT] = 3
+    cyc[kinds == K_FLUSH] = 0.0
+    cyc[kinds == K_RECV] = 0.0
+
+    taux = np.zeros(M)
+    acaux = np.zeros(M)
+    t_flush = trace.flush_bytes / timing.axi_bytes_per_cycle
+    t_flush = t_flush / timing.accel_freq_hz
+    t_flush = timing.dma_latency_s + t_flush
+    taux[trace.flush_pos] = t_flush
+    acaux[trace.flush_pos] = np.asarray(decoded.flush_cycles)
+    t_recv = trace.recv_bytes / timing.axi_bytes_per_cycle
+    t_recv = t_recv / timing.accel_freq_hz
+    t_recv = timing.dma_latency_s + t_recv
+    taux[trace.recv_pos] = t_recv
+
+    f = timing.cpu_freq_hz
+    af = timing.accel_freq_hz
+    dsc = timing.dma_start_cycles
+    dsb = timing.dma_start_branches
+    pollp = timing.poll_period_cycles
+    pollb = timing.poll_branches
+    db = ex.double_buffered
+
+    state = [
+        counters.cpu_cycles, counters.branch_instructions,
+        counters.cache_references, counters.stall_cycles,
+        counters.accel_cycles, board.clock, board.accel_ready_at,
+        board.dma_busy_until, board.accelerator.total_cycles,
+    ]
+    lib = _native.native_lib()
+    if lib is not None:
+        import ctypes
+
+        f64p = ctypes.POINTER(ctypes.c_double)
+        state_arr = np.asarray(state)
+        sync8 = np.ascontiguousarray(sync)
+        lib.timeline_batch(
+            sync8.ctypes.data_as(ctypes.POINTER(ctypes.c_int8)),
+            np.ascontiguousarray(cyc).ctypes.data_as(f64p),
+            np.ascontiguousarray(br).ctypes.data_as(f64p),
+            np.ascontiguousarray(rf).ctypes.data_as(f64p),
+            np.ascontiguousarray(rf2).ctypes.data_as(f64p),
+            taux.ctypes.data_as(f64p),
+            acaux.ctypes.data_as(f64p),
+            M, int(db), f, af, dsc, dsb, pollp, pollb,
+            state_arr.ctypes.data_as(f64p),
+        )
+        return state_arr
+    (cpu, branch, refs, stall, accel_ctr, clock, ready, busy,
+     accel_total) = state
+    sync_l = sync.tolist()
+    cyc_l = cyc.tolist()
+    br_l = br.tolist()
+    rf_l = rf.tolist()
+    rf2_l = rf2.tolist()
+    taux_l = taux.tolist()
+    ac_l = acaux.tolist()
+    for i in range(M):
+        s = sync_l[i]
+        if s == 0:
+            c = cyc_l[i]
+            cpu += c
+            branch += br_l[i]
+            refs += rf_l[i]
+            r2 = rf2_l[i]
+            if r2 != 0.0:
+                refs += r2
+            clock += c / f
+        elif s == 1:  # flush_send (+process_stream +schedule)
+            cpu += dsc
+            branch += dsb
+            clock += dsc / f
+            t = taux_l[i]
+            ac = ac_l[i]
+            if db:
+                start = clock if clock > busy else busy
+                completion = start + t
+                busy = completion
+                arrival = completion
+            else:
+                if t > 0.0:
+                    ts = clock + t
+                    if ts > clock:
+                        sc = (ts - clock) * f
+                        stall += sc
+                        branch += (sc / pollp) * pollb
+                        clock = ts
+                arrival = clock
+            s2 = ready if ready > arrival else arrival
+            ready = s2 + ac / af
+            accel_ctr += ac
+            accel_total += ac
+        elif s == 2:  # recv synchronization
+            cpu += dsc
+            branch += dsb
+            clock += dsc / f
+            if ready > clock:
+                sc = (ready - clock) * f
+                stall += sc
+                branch += (sc / pollp) * pollb
+                clock = ready
+            t = taux_l[i]
+            if t > 0.0:
+                ts = clock + t
+                if ts > clock:
+                    sc = (ts - clock) * f
+                    stall += sc
+                    branch += (sc / pollp) * pollb
+                    clock = ts
+        else:  # pre-receive wait_sends (double-buffered runtimes)
+            if busy > clock:
+                sc = (busy - clock) * f
+                stall += sc
+                branch += (sc / pollp) * pollb
+                clock = busy
+    return np.asarray([cpu, branch, refs, stall, accel_ctr, clock,
+                       ready, busy, accel_total])
+
+
+# -- region-write summaries -------------------------------------------------
+
+def _input_winners(ex, plan: MetricsPlan) -> None:
+    """Last-writer index map of the DMA input staging region.
+
+    The staged regions are write-before-read per flush, so their final
+    contents never influence later runs; the winning writes are
+    precomputed here (bounded backward scan over the staged-item
+    stream) so each invocation rebuilds the region with a handful of
+    vectorized writes — for debugging fidelity, exactly matching the
+    per-tile path's end state.
+    """
+    trace = ex.trace
+    input_used = 0
+    if trace.word_offsets.size:
+        input_used = int(trace.word_offsets.max()) + 4
+    for tile_class in trace.send_classes:
+        if tile_class.region_offsets.size:
+            input_used = max(
+                input_used,
+                int(tile_class.region_offsets.max())
+                + tile_class.num_elements() * tile_class.itemsize,
+            )
+    used_words = input_used // 4
+    covered = np.zeros(ex.engine.input_words.size, dtype=bool)
+    covered_count = 0
+    word_dest: List[int] = []
+    word_vals: List[int] = []
+    per_class: Dict[int, List] = {}
+    is_word = trace.staged_is_word.tolist()
+    values = trace.staged_values.tolist()
+    indices = trace.staged_indices.tolist()
+    widths = trace.staged_widths.tolist()
+    word_offsets = trace.word_offsets.tolist()
+    word_values = trace.word_values.tolist()
+    word_cursor = len(word_offsets)
+    region_offset_arrays = [tc.region_offsets for tc in trace.send_classes]
+
+    for i in range(len(is_word) - 1, -1, -1):
+        if covered_count >= used_words:
+            # The staged offsets repeat every loop iteration, so
+            # coverage of the used span completes within roughly one
+            # loop body's worth of writes.
+            break
+        if is_word[i]:
+            word_cursor -= 1
+            start = word_offsets[word_cursor] // 4
+            if not covered[start]:
+                covered[start] = True
+                covered_count += 1
+                word_dest.append(start)
+                word_vals.append(word_values[word_cursor] & 0xFFFFFFFF)
+        else:
+            class_id = values[i]
+            index = indices[i]
+            words = widths[i]
+            start = int(region_offset_arrays[class_id][index]) // 4
+            sel = ~covered[start:start + words]
+            if sel.any():
+                rel = np.flatnonzero(sel)
+                entry = per_class.setdefault(class_id, [[], [], []])
+                row = len(entry[0])
+                entry[0].append(index)
+                entry[1].append(start + rel)
+                entry[2].append(row * words + rel)
+                covered[start:start + words] = True
+                covered_count += int(rel.size)
+    plan.input_word_dest = np.asarray(word_dest, dtype=np.int64)
+    plan.input_word_values = np.asarray(word_vals, dtype=np.uint32) \
+        if word_vals else np.empty(0, dtype=np.uint32)
+    plan.input_tile_writes = [
+        (class_id,
+         np.asarray(entry[0], dtype=np.int64),
+         np.concatenate(entry[1]) if entry[1]
+         else np.empty(0, dtype=np.int64),
+         np.concatenate(entry[2]) if entry[2]
+         else np.empty(0, dtype=np.int64))
+        for class_id, entry in sorted(per_class.items())
+    ]
+
+
+def _output_winners(ex, plan: MetricsPlan) -> None:
+    """Last-writer index map of the DMA output staging region."""
+    trace = ex.trace
+    output_used = 0
+    for tile_class in trace.recv_classes:
+        if tile_class.region_offsets.size:
+            output_used = max(
+                output_used,
+                int(tile_class.region_offsets.max())
+                + tile_class.num_elements() * tile_class.itemsize,
+            )
+    used_words = output_used // 4
+    covered = np.zeros(ex.engine.output_words.size, dtype=bool)
+    covered_count = 0
+    writes = []
+    recv_bytes = trace.recv_bytes.tolist()
+    for ordinal in range(len(trace.recv_refs) - 1, -1, -1):
+        if covered_count >= used_words:
+            break
+        class_id, index = trace.recv_refs[ordinal]
+        tile_class = trace.recv_classes[class_id]
+        start = int(tile_class.region_offsets[index]) // 4
+        words = recv_bytes[ordinal] // 4
+        sel = ~covered[start:start + words]
+        if sel.any():
+            rel = np.flatnonzero(sel)
+            writes.append((ordinal, start + rel, rel))
+            covered[start:start + words] = True
+            covered_count += int(rel.size)
+    plan.output_writes = writes

@@ -36,7 +36,6 @@ from __future__ import annotations
 
 import os
 import time
-from itertools import repeat
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -577,25 +576,41 @@ class _Synthesizer:
         """The interleaved word/tile stream the decoder consumes."""
         word_sites = [s for s in self.sites if s.op in _WORD_OPS]
         parts = [s.pos for s in word_sites] + [g[1] for g in send_groups]
+        empty = np.empty(0, dtype=np.int64)
         if not parts:
+            trace.staged_is_word = np.empty(0, dtype=np.uint8)
+            trace.staged_values = empty
+            trace.staged_indices = empty
+            trace.staged_widths = empty
             trace.flush_item_counts = [0] * len(trace.flush_pos)
             return
-        # Items are built part-by-part (C-speed zip/extend), then merged
-        # into global event order with a single argsort permutation.
-        combined: List[Tuple] = []
+        # The four parallel item arrays are built part-by-part (pure
+        # numpy), then merged into global event order with a single
+        # argsort permutation.
+        is_word_parts, value_parts, index_parts, width_parts = [], [], [], []
         for site in word_sites:
             values = (self._flat(site.payload["value"], site.chain)
                       & 0xFFFFFFFF)
-            combined.extend(zip(repeat("w"), values.tolist()))
+            n = values.size
+            is_word_parts.append(np.ones(n, dtype=np.uint8))
+            value_parts.append(values.astype(np.int64, copy=False))
+            index_parts.append(np.zeros(n, dtype=np.int64))
+            width_parts.append(np.ones(n, dtype=np.int64))
         for class_id, (key, pos, _starts, _regions) in \
                 enumerate(send_groups):
             tile_class = trace.send_classes[class_id]
             words = tile_class.num_elements() * tile_class.itemsize // 4
-            combined.extend(zip(repeat("t"), repeat(class_id),
-                                range(pos.size), repeat(words)))
+            n = pos.size
+            is_word_parts.append(np.zeros(n, dtype=np.uint8))
+            value_parts.append(np.full(n, class_id, dtype=np.int64))
+            index_parts.append(np.arange(n, dtype=np.int64))
+            width_parts.append(np.full(n, words, dtype=np.int64))
         all_pos = np.concatenate(parts)
         order = np.argsort(all_pos)
-        trace.staged_items = [combined[i] for i in order.tolist()]
+        trace.staged_is_word = np.concatenate(is_word_parts)[order]
+        trace.staged_values = np.concatenate(value_parts)[order]
+        trace.staged_indices = np.concatenate(index_parts)[order]
+        trace.staged_widths = np.concatenate(width_parts)[order]
         trace.flush_item_counts = np.searchsorted(
             all_pos[order], trace.flush_pos
         ).tolist()
@@ -680,8 +695,10 @@ def diff_traces(synthesized: DriverTrace,
                           "order"):
                 check_array(f"{side}[{i}].{field}",
                             getattr(lc, field), getattr(rc, field))
-    check("staged_items", list(synthesized.staged_items)
-          == list(recorded.staged_items))
+    for name in ("staged_is_word", "staged_values", "staged_indices",
+                 "staged_widths"):
+        check_array(name, getattr(synthesized, name),
+                    getattr(recorded, name))
     check("flush_item_counts", list(synthesized.flush_item_counts)
           == list(recorded.flush_item_counts))
     check("recv_refs", list(synthesized.recv_refs)

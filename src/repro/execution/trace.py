@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import os
 import time
+from collections import OrderedDict
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -50,8 +51,9 @@ TRACE_KILL_SWITCH = "REPRO_NO_TRACE"
 #: payload next to the serialized trace: bump it whenever DriverTrace,
 #: _TileClass, or DecodedPlan change shape so stale persisted traces
 #: are evicted (the kernel entry itself still loads) instead of being
-#: replayed with mismatched tables.
-TRACE_SCHEMA_VERSION = 1
+#: replayed with mismatched tables.  (v2: the staged-item stream became
+#: four parallel numpy arrays instead of a list of tuples.)
+TRACE_SCHEMA_VERSION = 2
 
 #: Wall-clock spent per pipeline stage, cumulative for the process.
 #: ``compile_s`` is fed by the compiler; the benchmark harness snapshots
@@ -62,6 +64,10 @@ STAGE_TIMINGS: Dict[str, float] = {
     "trace_synth_s": 0.0,
     "manual_record_s": 0.0,
     "replay_s": 0.0,
+    # Metrics-plane breakdown (both are *subsets* of replay_s): building
+    # a MetricsPlan from scratch vs applying a cached one in O(state).
+    "metrics_plan_build_s": 0.0,
+    "metrics_plan_apply_s": 0.0,
 }
 
 #: How each kernel's DriverTrace was obtained this process:
@@ -195,18 +201,43 @@ class DriverTrace:
         self.recv_pos: np.ndarray = None
         self.recv_bytes: np.ndarray = None
         self.recv_sizes: List[Tuple[int, ...]] = []  # per recv ordinal
-        #: Staged-item stream for the accelerator decoder: tuples of
-        #: ("w", value) or ("t", class_id, index, words), plus the item
-        #: count staged before each flush boundary.
-        self.staged_items: List[Tuple] = []
+        #: Staged-item stream for the accelerator decoder, as four
+        #: parallel arrays: ``staged_is_word`` (1 = scalar word, 0 =
+        #: tile), ``staged_values`` (the word value, or the tile's class
+        #: id), ``staged_indices`` (the tile's ordinal within its class,
+        #: 0 for words), ``staged_widths`` (32-bit words per item).
+        #: ``flush_item_counts`` holds the item count visible at each
+        #: flush boundary.
+        self.staged_is_word: np.ndarray = None
+        self.staged_values: np.ndarray = None
+        self.staged_indices: np.ndarray = None
+        self.staged_widths: np.ndarray = None
         self.flush_item_counts: List[int] = []
         #: recv ordinal -> (class_id, index) for push matching.
         self.recv_refs: List[Tuple[int, int]] = []
         #: Decoded plans per accelerator signature (lazily built).
         self.decoded: Dict[Tuple, object] = {}
+        #: Cached MetricsPlans per runtime-config/state fingerprint
+        #: (see repro.execution.metrics).  Persisted *separately* from
+        #: the trace in the kernel store — its own schema version — so
+        #: it is excluded from the trace's pickle state below.
+        self.metrics_plans: "OrderedDict" = OrderedDict()
         #: Whether the scatter of each recv class is round-safe (the
         #: flat index sets of distinct tile starts are disjoint).
         self.recv_disjoint: List[bool] = []
+
+    @property
+    def num_staged_items(self) -> int:
+        return 0 if self.staged_is_word is None else self.staged_is_word.size
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state["metrics_plans"] = None  # persisted under its own schema
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self.metrics_plans = OrderedDict()
 
 
 class TraceRecorder:
@@ -354,6 +385,10 @@ def _compile_events(recorder: TraceRecorder, arg_specs) -> DriverTrace:
     recv_bytes: List[int] = []
     send_ordinal = 0
     recv_ordinal = 0
+    staged_w: List[int] = []     # 1 = word, 0 = tile
+    staged_v: List[int] = []     # word value / tile class id
+    staged_i: List[int] = []     # tile ordinal within its class
+    staged_n: List[int] = []     # 32-bit words per item
 
     for event in recorder.events:
         tag = event[0]
@@ -368,7 +403,10 @@ def _compile_events(recorder: TraceRecorder, arg_specs) -> DriverTrace:
             word_offsets.append(offset)
             word_values.append(value)
             kinds.append(K_WORD)
-            trace.staged_items.append(("w", value))
+            staged_w.append(1)
+            staged_v.append(value)
+            staged_i.append(0)
+            staged_n.append(1)
         elif tag == "send":
             _, arg, start, sizes, strides, offset = event
             key = (arg, sizes, strides)
@@ -389,7 +427,10 @@ def _compile_events(recorder: TraceRecorder, arg_specs) -> DriverTrace:
             send_ordinal += 1
             kinds.append(K_COPY)
             words = tile_class.num_elements() * tile_class.itemsize // 4
-            trace.staged_items.append(("t", class_id, index, words))
+            staged_w.append(0)
+            staged_v.append(class_id)
+            staged_i.append(index)
+            staged_n.append(words)
         elif tag == "flush":
             _, offset = event
             if offset == 0:
@@ -397,7 +438,7 @@ def _compile_events(recorder: TraceRecorder, arg_specs) -> DriverTrace:
             flush_pos.append(len(kinds))
             flush_bytes.append(offset)
             kinds.append(K_FLUSH)
-            trace.flush_item_counts.append(len(trace.staged_items))
+            trace.flush_item_counts.append(len(staged_w))
         elif tag == "recv":
             _, arg, start, sizes, strides, offset, accumulate = event
             key = (arg, sizes, strides, accumulate)
@@ -455,6 +496,10 @@ def _compile_events(recorder: TraceRecorder, arg_specs) -> DriverTrace:
             )
     trace.kinds = np.asarray(kinds, dtype=np.int8)
     trace.num_events = len(kinds)
+    trace.staged_is_word = np.asarray(staged_w, dtype=np.uint8)
+    trace.staged_values = np.asarray(staged_v, dtype=np.int64)
+    trace.staged_indices = np.asarray(staged_i, dtype=np.int64)
+    trace.staged_widths = np.asarray(staged_n, dtype=np.int64)
     trace.word_pos = np.asarray(word_pos, dtype=np.int64)
     trace.word_offsets = np.asarray(word_offsets, dtype=np.int64)
     trace.word_values = np.asarray(word_values, dtype=np.int64)
@@ -482,8 +527,20 @@ def _scatter_is_disjoint(tile_class: _TileClass) -> bool:
         return True
     if starts.size * tile_class.num_elements() > (1 << 24):
         return False  # don't spend memory proving it; stay sequential
-    indices = _tile_indices(starts, tile_class.sizes, tile_class.strides)
-    return np.unique(indices.reshape(-1)).size == indices.size
+    indices = _tile_indices(starts, tile_class.sizes,
+                            tile_class.strides).reshape(-1)
+    # Bitset membership beats a sort-based unique: one linear pass over
+    # a bool array bounded by the touched index range.  Sparse tiles in
+    # a huge argument would make that range-sized array explode, so
+    # those fall back to the sort (the count guard above only bounds
+    # the index COUNT, not the range).
+    base = int(indices.min())
+    span = int(indices.max()) - base + 1
+    if span > (1 << 26):
+        return np.unique(indices).size == indices.size
+    seen = np.zeros(span, dtype=bool)
+    seen[indices - base] = True
+    return int(np.count_nonzero(seen)) == indices.size
 
 
 def _tile_indices(starts: np.ndarray, sizes, strides) -> np.ndarray:
@@ -516,7 +573,6 @@ class DecodedPlan:
         self.compute_b: List[int] = []
         self.compute_geom: List[Tuple[int, int, int]] = []
         self.compute_push: List[int] = []   # push ordinal, -1 = dropped
-        self.push_geom: List[Tuple[int, int]] = []
         self.push_counts: List[int] = []
         self.push_flush: List[int] = []
         # Final accelerator state.
@@ -530,23 +586,32 @@ class DecodedPlan:
         return (class_id << 40) | index
 
 
+def decode_key(accelerator: StreamAccelerator) -> Tuple:
+    """The accelerator-configuration key a decoded plan is cached under.
+
+    Also folded into MetricsPlan fingerprints: the decoded plan's
+    accelerator cycle charges are part of the metrics plane.
+    """
+    if type(accelerator) is MatMulAccelerator:
+        return ("matmul", accelerator.size, accelerator.version,
+                str(accelerator.dtype))
+    if type(accelerator) is ConvAccelerator:
+        return ("conv", accelerator.max_ic, accelerator.max_fhw,
+                accelerator.max_slice, str(accelerator.dtype))
+    raise TraceUnsupported(
+        f"no trace decoder for {type(accelerator).__name__}"
+    )
+
+
 def decode_for_accelerator(trace: DriverTrace,
                            accelerator: StreamAccelerator) -> DecodedPlan:
     """Build (or fetch) the instruction plan for one accelerator config."""
-    if type(accelerator) is MatMulAccelerator:
-        key = ("matmul", accelerator.size, accelerator.version,
-               str(accelerator.dtype))
-        if key not in trace.decoded:
+    key = decode_key(accelerator)
+    if key not in trace.decoded:
+        if key[0] == "matmul":
             trace.decoded[key] = _decode_matmul(trace, accelerator)
-    elif type(accelerator) is ConvAccelerator:
-        key = ("conv", accelerator.max_ic, accelerator.max_fhw,
-               accelerator.max_slice, str(accelerator.dtype))
-        if key not in trace.decoded:
+        else:
             trace.decoded[key] = _decode_conv(trace, accelerator)
-    else:
-        raise TraceUnsupported(
-            f"no trace decoder for {type(accelerator).__name__}"
-        )
     plan = trace.decoded[key]
     if isinstance(plan, TraceUnsupported):
         raise plan
@@ -556,26 +621,26 @@ def decode_for_accelerator(trace: DriverTrace,
 class _ItemQueue:
     """The staged-word stream as the accelerator's state machine sees it.
 
-    The item tuples are unpacked once into parallel lists plus a word
-    prefix sum, so the decoders' per-item steps are plain list reads —
-    ``available_words`` is ``cum[limit] - cum[head]``, no incremental
-    bookkeeping — which matters because decoding is a per-item Python
-    loop over streams that reach hundreds of thousands of items.
+    The trace's staged-item arrays are unpacked once into parallel
+    lists plus a word prefix sum, so the decoders' per-item steps are
+    plain list reads — ``available_words`` is ``cum[limit] - cum[head]``,
+    no incremental bookkeeping — which matters because the fallback
+    decoders are per-item Python loops over streams that reach hundreds
+    of thousands of items.  (The common case never builds one: the C
+    decoders in :mod:`repro.soc._native` read the arrays directly.)
     """
 
     __slots__ = ("n", "is_word", "values", "indices", "widths", "cum",
                  "head", "limit", "visible")
 
-    def __init__(self, items: List[Tuple]):
-        self.n = len(items)
-        self.is_word = [item[0] == "w" for item in items]
-        #: word value for "w" items, class id for "t" items.
-        self.values = [item[1] for item in items]
-        self.indices = [0 if item[0] == "w" else item[2] for item in items]
-        self.widths = [1 if item[0] == "w" else item[3] for item in items]
-        self.cum = [0] + np.cumsum(
-            np.asarray(self.widths, dtype=np.int64)
-        ).tolist()
+    def __init__(self, trace: "DriverTrace"):
+        self.n = trace.num_staged_items
+        self.is_word = [bool(w) for w in trace.staged_is_word.tolist()]
+        #: word value for word items, class id for tile items.
+        self.values = trace.staged_values.tolist()
+        self.indices = trace.staged_indices.tolist()
+        self.widths = trace.staged_widths.tolist()
+        self.cum = [0] + np.cumsum(trace.staged_widths).tolist()
         self.head = 0
         self.limit = 0          # items visible so far (flush boundary)
         self.visible = 0        # words visible so far
@@ -619,9 +684,171 @@ class _ItemQueue:
         return self.values[head], self.indices[head]
 
 
+def _stream_arrays(trace: DriverTrace):
+    """Contiguous stream arrays + word prefix sum for the C decoders."""
+    is_word = np.ascontiguousarray(trace.staged_is_word)
+    values = np.ascontiguousarray(trace.staged_values)
+    indices = np.ascontiguousarray(trace.staged_indices)
+    cum = np.zeros(trace.num_staged_items + 1, dtype=np.int64)
+    np.cumsum(trace.staged_widths, out=cum[1:])
+    limits = np.ascontiguousarray(
+        np.asarray(trace.flush_item_counts, dtype=np.int64)
+    )
+    return is_word, values, indices, cum, limits
+
+
+_MICRO_CODES = {"load_a": 0, "load_b": 1, "compute": 2, "push_c": 3,
+                "configure": 4, "reset": 5}
+
+
+def _native_decode_matmul(trace: DriverTrace,
+                          accel: MatMulAccelerator) -> Optional[DecodedPlan]:
+    """C fast path for the matmul stream decoder (None = use Python)."""
+    from ..soc import _native  # late bind: tests patch native_lib
+
+    lib = _native.native_lib()
+    if lib is None:
+        return None
+    import ctypes
+
+    is_word, values, indices, cum, limits = _stream_arrays(trace)
+    names = VERSION_OPCODES[accel.version]
+    literals = np.asarray([MATMUL_LITERALS[n] for n in names],
+                          dtype=np.int64)
+    progs = [[_MICRO_CODES[p] for p in _MICRO_OPS[n]] for n in names]
+    prog_off = np.zeros(len(progs) + 1, dtype=np.int64)
+    np.cumsum([len(p) for p in progs], out=prog_off[1:])
+    prog = np.asarray([c for p in progs for c in p], dtype=np.int64)
+
+    n_items = trace.num_staged_items
+    cap = max(n_items, 1)
+    comp_a = np.empty(cap, dtype=np.int64)
+    comp_b = np.empty(cap, dtype=np.int64)
+    comp_m = np.empty(cap, dtype=np.int64)
+    comp_n = np.empty(cap, dtype=np.int64)
+    comp_k = np.empty(cap, dtype=np.int64)
+    comp_push = np.empty(cap, dtype=np.int64)
+    push_counts = np.empty(cap, dtype=np.int64)
+    push_flush = np.empty(cap, dtype=np.int64)
+    out_words = np.empty(cap, dtype=np.int64)
+    flush_cycles = np.zeros(limits.size, dtype=np.float64)
+    flush_instr = np.zeros(limits.size, dtype=np.int64)
+    final_state = np.zeros(5, dtype=np.int64)
+    counts = np.zeros(2, dtype=np.int64)
+
+    i64p = ctypes.POINTER(ctypes.c_int64)
+    u8p = ctypes.POINTER(ctypes.c_uint8)
+    f64p = ctypes.POINTER(ctypes.c_double)
+    error = lib.decode_matmul_stream(
+        is_word.ctypes.data_as(u8p), values.ctypes.data_as(i64p),
+        indices.ctypes.data_as(i64p), cum.ctypes.data_as(i64p), n_items,
+        limits.ctypes.data_as(i64p), limits.size,
+        literals.ctypes.data_as(i64p), prog_off.ctypes.data_as(i64p),
+        prog.ctypes.data_as(i64p), literals.size,
+        accel.size_quantum, accel.buffer_capacity,
+        float(accel.ops_per_cycle), accel.size,
+        comp_a.ctypes.data_as(i64p), comp_b.ctypes.data_as(i64p),
+        comp_m.ctypes.data_as(i64p), comp_n.ctypes.data_as(i64p),
+        comp_k.ctypes.data_as(i64p), comp_push.ctypes.data_as(i64p),
+        push_counts.ctypes.data_as(i64p), push_flush.ctypes.data_as(i64p),
+        out_words.ctypes.data_as(i64p),
+        flush_cycles.ctypes.data_as(f64p), flush_instr.ctypes.data_as(i64p),
+        final_state.ctypes.data_as(i64p), counts.ctypes.data_as(i64p),
+    )
+    if error:
+        return None
+    n_comp, n_push = int(counts[0]), int(counts[1])
+    plan = DecodedPlan()
+    plan.flush_cycles = flush_cycles
+    plan.flush_instructions = flush_instr
+    plan.compute_a = comp_a[:n_comp].copy()
+    plan.compute_b = comp_b[:n_comp].copy()
+    plan.compute_geom = np.stack(
+        [comp_m[:n_comp], comp_n[:n_comp], comp_k[:n_comp]], axis=1
+    ) if n_comp else np.zeros((0, 3), dtype=np.int64)
+    plan.compute_push = comp_push[:n_comp].copy()
+    plan.push_counts = push_counts[:n_push].copy()
+    plan.push_flush = push_flush[:n_push].copy()
+    plan.out_words_per_push = out_words[:n_push].copy()
+    plan.final_config = (int(final_state[0]), int(final_state[1]),
+                         int(final_state[2]))
+    plan.final_a = int(final_state[3])
+    plan.final_b = int(final_state[4])
+    _match_pushes_to_recvs(trace, plan)
+    return plan
+
+
+def _native_decode_conv(trace: DriverTrace,
+                        accel: ConvAccelerator) -> Optional[DecodedPlan]:
+    """C fast path for the conv stream decoder (None = use Python)."""
+    from ..soc import _native
+
+    lib = _native.native_lib()
+    if lib is None:
+        return None
+    import ctypes
+
+    is_word, values, indices, cum, limits = _stream_arrays(trace)
+    n_items = trace.num_staged_items
+    cap = max(n_items, 1)
+    comp_a = np.empty(cap, dtype=np.int64)
+    comp_b = np.empty(cap, dtype=np.int64)
+    comp_k = np.empty(cap, dtype=np.int64)
+    comp_push = np.empty(cap, dtype=np.int64)
+    push_counts = np.empty(cap, dtype=np.int64)
+    push_flush = np.empty(cap, dtype=np.int64)
+    out_words = np.empty(cap, dtype=np.int64)
+    flush_cycles = np.zeros(limits.size, dtype=np.float64)
+    flush_instr = np.zeros(limits.size, dtype=np.int64)
+    final_state = np.zeros(3, dtype=np.int64)
+    counts = np.zeros(2, dtype=np.int64)
+
+    i64p = ctypes.POINTER(ctypes.c_int64)
+    u8p = ctypes.POINTER(ctypes.c_uint8)
+    f64p = ctypes.POINTER(ctypes.c_double)
+    error = lib.decode_conv_stream(
+        is_word.ctypes.data_as(u8p), values.ctypes.data_as(i64p),
+        indices.ctypes.data_as(i64p), cum.ctypes.data_as(i64p), n_items,
+        limits.ctypes.data_as(i64p), limits.size,
+        CONV_LITERALS["sIcO"], CONV_LITERALS["sF"], CONV_LITERALS["rO"],
+        CONV_LITERALS["cfg_fsize"], CONV_LITERALS["cfg_ic"],
+        accel.max_ic, accel.max_fhw, accel.max_slice,
+        float(CONV_OPS_PER_CYCLE),
+        comp_a.ctypes.data_as(i64p), comp_b.ctypes.data_as(i64p),
+        comp_k.ctypes.data_as(i64p), comp_push.ctypes.data_as(i64p),
+        push_counts.ctypes.data_as(i64p), push_flush.ctypes.data_as(i64p),
+        out_words.ctypes.data_as(i64p),
+        flush_cycles.ctypes.data_as(f64p), flush_instr.ctypes.data_as(i64p),
+        final_state.ctypes.data_as(i64p), counts.ctypes.data_as(i64p),
+    )
+    if error:
+        return None
+    n_comp, n_push = int(counts[0]), int(counts[1])
+    plan = DecodedPlan()
+    plan.kind = "conv"
+    plan.flush_cycles = flush_cycles
+    plan.flush_instructions = flush_instr
+    plan.compute_a = comp_a[:n_comp].copy()
+    plan.compute_b = comp_b[:n_comp].copy()
+    geom = np.ones((n_comp, 3), dtype=np.int64)
+    geom[:, 2] = comp_k[:n_comp]
+    plan.compute_geom = geom
+    plan.compute_push = comp_push[:n_comp].copy()
+    plan.push_counts = push_counts[:n_push].copy()
+    plan.push_flush = push_flush[:n_push].copy()
+    plan.out_words_per_push = out_words[:n_push].copy()
+    plan.final_config = (int(final_state[0]), int(final_state[1]))
+    plan.final_b = int(final_state[2])
+    _match_pushes_to_recvs(trace, plan)
+    return plan
+
+
 def _decode_matmul(trace: DriverTrace,
                    accel: MatMulAccelerator) -> DecodedPlan:
     try:
+        plan = _native_decode_matmul(trace, accel)
+        if plan is not None:
+            return plan
         return _decode_matmul_inner(trace, accel)
     except TraceUnsupported as exc:
         return exc
@@ -639,7 +866,7 @@ def _decode_matmul_inner(trace: DriverTrace,
     ops_per_cycle = accel.ops_per_cycle
     a_src = b_src = -1
     pending: List[int] = []     # compute ordinals since last push/reset
-    queue = _ItemQueue(trace.staged_items)
+    queue = _ItemQueue(trace)
 
     def refresh_needs() -> Dict[int, int]:
         needs: Dict[int, int] = {}
@@ -690,10 +917,9 @@ def _decode_matmul_inner(trace: DriverTrace,
                     plan.compute_push.append(-1)
                     opcode_cycles += 2.0 * macs / ops_per_cycle
                 elif primitive == "push_c":
-                    push = len(plan.push_geom)
+                    push = len(plan.push_counts)
                     for ordinal in pending:
                         plan.compute_push[ordinal] = push
-                    plan.push_geom.append((tile_m, tile_n))
                     plan.push_counts.append(len(pending))
                     plan.push_flush.append(flush_index)
                     plan.out_words_per_push.append(tile_m * tile_n)
@@ -721,7 +947,7 @@ def _decode_matmul_inner(trace: DriverTrace,
         plan.flush_cycles.append(cycles)
         plan.flush_instructions.append(instructions)
 
-    if queue.head != len(trace.staged_items):
+    if queue.head != trace.num_staged_items:
         raise TraceUnsupported("staged data left unconsumed in the stream")
     if pending:
         raise TraceUnsupported("computes left unreceived at driver exit")
@@ -734,6 +960,9 @@ def _decode_matmul_inner(trace: DriverTrace,
 
 def _decode_conv(trace: DriverTrace, accel: ConvAccelerator) -> DecodedPlan:
     try:
+        plan = _native_decode_conv(trace, accel)
+        if plan is not None:
+            return plan
         return _decode_conv_inner(trace, accel)
     except TraceUnsupported as exc:
         return exc
@@ -749,7 +978,7 @@ def _decode_conv_inner(trace: DriverTrace,
     filter_src = -1
     filter_words = 1  # the reset-state filter is a single zero element
     pending: List[int] = []
-    queue = _ItemQueue(trace.staged_items)
+    queue = _ItemQueue(trace)
     lit_sico = CONV_LITERALS["sIcO"]
     lit_sf = CONV_LITERALS["sF"]
     lit_ro = CONV_LITERALS["rO"]
@@ -802,10 +1031,9 @@ def _decode_conv_inner(trace: DriverTrace,
             elif literal == lit_ro:
                 if not pending:
                     raise TraceUnsupported("rO with an empty slice buffer")
-                push = len(plan.push_geom)
+                push = len(plan.push_counts)
                 for ordinal in pending:
                     plan.compute_push[ordinal] = push
-                plan.push_geom.append((len(pending), 1))
                 plan.push_counts.append(len(pending))
                 plan.push_flush.append(flush_index)
                 plan.out_words_per_push.append(len(pending))
@@ -814,7 +1042,7 @@ def _decode_conv_inner(trace: DriverTrace,
         plan.flush_cycles.append(cycles)
         plan.flush_instructions.append(instructions)
 
-    if queue.head != len(trace.staged_items):
+    if queue.head != trace.num_staged_items:
         raise TraceUnsupported("staged data left unconsumed in the stream")
     if pending:
         raise TraceUnsupported("windows left unreceived at driver exit")
@@ -826,14 +1054,21 @@ def _decode_conv_inner(trace: DriverTrace,
 
 def _match_pushes_to_recvs(trace: DriverTrace, plan: DecodedPlan) -> None:
     """Receives pop pushed outputs in FIFO order; sizes must line up."""
-    if len(plan.out_words_per_push) != len(trace.recv_refs):
+    n = len(trace.recv_refs)
+    if len(plan.out_words_per_push) != n:
         raise TraceUnsupported("push/receive count mismatch")
-    for ordinal, (class_id, _index) in enumerate(trace.recv_refs):
-        tile_class = trace.recv_classes[class_id]
-        expected = tile_class.num_elements() * tile_class.itemsize // 4
-        if plan.out_words_per_push[ordinal] != expected:
-            raise TraceUnsupported("push/receive size mismatch")
-        # FIFO discipline: the push must precede the receive in time.
-        flush = plan.push_flush[ordinal]
-        if trace.flush_pos[flush] > trace.recv_pos[ordinal]:
-            raise TraceUnsupported("receive precedes its pushed output")
+    if n == 0:
+        return
+    class_ids = np.fromiter((c for c, _ in trace.recv_refs),
+                            dtype=np.int64, count=n)
+    class_words = np.asarray(
+        [tc.num_elements() * tc.itemsize // 4
+         for tc in trace.recv_classes], dtype=np.int64,
+    )
+    out_words = np.asarray(plan.out_words_per_push, dtype=np.int64)
+    if (out_words != class_words[class_ids]).any():
+        raise TraceUnsupported("push/receive size mismatch")
+    # FIFO discipline: each push must precede its receive in time.
+    push_flush = np.asarray(plan.push_flush, dtype=np.int64)
+    if (trace.flush_pos[push_flush] > trace.recv_pos).any():
+        raise TraceUnsupported("receive precedes its pushed output")

@@ -93,7 +93,7 @@ class _CopyPlan:
 
     __slots__ = ("src_rel", "dst_rel", "perm", "num_rows",
                  "half_lines", "dst_lines", "num_lines", "num_src",
-                 "_buf", "_seqs", "_seq_cap")
+                 "_buf", "_seqs", "_seq_cap", "_fill_columns")
 
     def __init__(self, rel_bytes, src_align: int, dst_align: int,
                  span_src: int, row_bytes: int, line: int):

@@ -1,14 +1,20 @@
 """Optional C-accelerated kernels for the trace-replay hot loops.
 
-Two loops in the replay executor are inherently sequential and dominate
-its runtime when executed in Python:
+Four loops in the trace/replay machinery are inherently sequential and
+dominate its runtime when executed in Python:
 
 * the set-associative LRU state machine over the run's full cache-line
-  stream (integer decisions only), and
+  stream (integer decisions only) — both the flat per-line variant and
+  the event-fused variant the metrics-plane build uses (per-event
+  hit/miss tallies accumulated inside the same pass, so the first-run
+  timeline+LRU fusion needs no Python-side repeat/bincount step);
 * the timeline replay (the exact chain of clock/stall/accelerator
-  floating-point operations, where summation order fixes the bits).
+  floating-point operations, where summation order fixes the bits);
+* the accelerator stream decoders (matmul and conv control units):
+  per-item state machines that turn the staged word/tile stream into
+  instruction records.
 
-Both are tiny, dependency-free state machines, so when a system C
+All are tiny, dependency-free state machines, so when a system C
 compiler is available they are compiled once per process into a shared
 library and driven through :mod:`ctypes`.  The C code performs exactly
 the same operations as the Python reference paths (IEEE double
@@ -74,6 +80,302 @@ void lru_hierarchy_batch(const int64_t *lines, int64_t n,
         w2[0] = line;
         codes[i] = 2;
     }
+}
+
+/* Event-fused variant of lru_hierarchy_batch for the metrics-plane
+ * build: the same LRU state machine, but hit/miss outcomes are tallied
+ * straight into per-event accumulators (bounds[e] .. bounds[e+1] index
+ * the chunk's line stream), so the caller needs no per-line code array,
+ * no event-id expansion, and no bincount pass. */
+void lru_hierarchy_events(const int64_t *lines, const int64_t *bounds,
+                          int64_t n_events,
+                          int64_t *s1, int64_t ns1, int64_t a1, int64_t m1,
+                          int64_t *s2, int64_t ns2, int64_t a2, int64_t m2,
+                          int64_t *l1_hits, int64_t *l1_miss,
+                          int64_t *l2_miss)
+{
+    for (int64_t e = 0; e < n_events; e++) {
+        int64_t h1 = 0, mi1 = 0, mi2 = 0;
+        for (int64_t i = bounds[e]; i < bounds[e + 1]; i++) {
+            int64_t line = lines[i];
+            int64_t set = (m1 >= 0) ? (line & m1) : (line % ns1);
+            int64_t *w = s1 + set * a1;
+            int found = 0;
+            for (int64_t j = 0; j < a1; j++) {
+                if (w[j] == line) {
+                    for (int64_t k = j; k > 0; k--) w[k] = w[k - 1];
+                    w[0] = line;
+                    found = 1;
+                    break;
+                }
+            }
+            if (found) { h1++; continue; }
+            for (int64_t k = a1 - 1; k > 0; k--) w[k] = w[k - 1];
+            w[0] = line;
+            mi1++;
+            set = (m2 >= 0) ? (line & m2) : (line % ns2);
+            int64_t *w2 = s2 + set * a2;
+            found = 0;
+            for (int64_t j = 0; j < a2; j++) {
+                if (w2[j] == line) {
+                    for (int64_t k = j; k > 0; k--) w2[k] = w2[k - 1];
+                    w2[0] = line;
+                    found = 1;
+                    break;
+                }
+            }
+            if (found) continue;
+            for (int64_t k = a2 - 1; k > 0; k--) w2[k] = w2[k - 1];
+            w2[0] = line;
+            mi2++;
+        }
+        l1_hits[e] += h1;
+        l1_miss[e] += mi1;
+        l2_miss[e] += mi2;
+    }
+}
+
+/* Copy-event line-stream assembly for the metrics-plane build: one
+ * copy event covers `width` consecutive slots of the global stream at
+ * `slots[i]`; column j of the block is src_lines[i]+rel[j] when
+ * from_dst[j] == 0, else dst_lines[i]+rel[j] (rel already permuted to
+ * the access order of the copy plan).  Equivalent to the numpy
+ * hstack/take/scatter sequence, without the temporaries. */
+void fill_copy_lines(const int64_t *slots, int64_t n,
+                     const int64_t *src_lines, const int64_t *dst_lines,
+                     const uint8_t *from_dst, const int64_t *rel,
+                     int64_t width, int64_t *lines)
+{
+    for (int64_t i = 0; i < n; i++) {
+        int64_t *row = lines + slots[i];
+        int64_t s = src_lines[i], d = dst_lines[i];
+        for (int64_t j = 0; j < width; j++)
+            row[j] = (from_dst[j] ? d : s) + rel[j];
+    }
+}
+
+/* Accelerator stream decoders.  The staged stream arrives as parallel
+ * arrays (is_word, value = word value or tile class, index = tile
+ * ordinal within its class, cum = word-count prefix sum) plus per-flush
+ * item limits.  Both decoders replicate the Python reference loops in
+ * trace.py exactly on the success path; any assumption violation
+ * returns nonzero and the caller re-runs the Python decoder for the
+ * precise diagnostic.  Packed operand refs are (class << 40) | index,
+ * matching DecodedPlan.pack. */
+
+#define MICRO_LOAD_A 0
+#define MICRO_LOAD_B 1
+#define MICRO_COMPUTE 2
+#define MICRO_PUSH_C 3
+#define MICRO_CONFIGURE 4
+#define MICRO_RESET 5
+
+int64_t decode_matmul_stream(
+    const uint8_t *is_word, const int64_t *value, const int64_t *index,
+    const int64_t *cum, int64_t n_items,
+    const int64_t *flush_limits, int64_t n_flush,
+    const int64_t *literals, const int64_t *prog_off, const int64_t *prog,
+    int64_t n_opcodes,
+    int64_t quantum, int64_t capacity, double ops_per_cycle, int64_t tile0,
+    int64_t *comp_a, int64_t *comp_b, int64_t *comp_m, int64_t *comp_n,
+    int64_t *comp_k, int64_t *comp_push,
+    int64_t *push_counts, int64_t *push_flush, int64_t *out_words,
+    double *flush_cycles, int64_t *flush_instr,
+    int64_t *final_state, int64_t *counts)
+{
+    int64_t tm = tile0, tn = tile0, tk = tile0;
+    int64_t a_src = -1, b_src = -1;
+    int64_t n_comp = 0, n_push = 0, pending_start = 0;
+    int64_t head = 0;
+    int64_t needs[32];
+    if (n_opcodes > 32) return 1;
+    for (int64_t o = 0; o < n_opcodes; o++) {
+        int64_t total = 0;
+        for (int64_t p = prog_off[o]; p < prog_off[o + 1]; p++) {
+            if (prog[p] == MICRO_LOAD_A) total += tm * tk;
+            else if (prog[p] == MICRO_LOAD_B) total += tk * tn;
+            else if (prog[p] == MICRO_CONFIGURE) total += 3;
+        }
+        needs[o] = total;
+    }
+    for (int64_t f = 0; f < n_flush; f++) {
+        int64_t limit = flush_limits[f];
+        double cycles = 0.0;
+        int64_t instructions = 0;
+        while (head < limit) {
+            if (!is_word[head]) return 1;
+            int64_t lit = value[head];
+            int64_t op = -1;
+            for (int64_t o = 0; o < n_opcodes; o++)
+                if (literals[o] == lit) { op = o; break; }
+            if (op < 0) return 1;
+            if (cum[limit] - cum[head] - 1 < needs[op]) break;
+            head++;
+            double oc = 0.0;
+            for (int64_t p = prog_off[op]; p < prog_off[op + 1]; p++) {
+                int64_t micro = prog[p];
+                if (micro == MICRO_LOAD_A) {
+                    if (head >= limit || is_word[head]
+                            || cum[head + 1] - cum[head] != tm * tk)
+                        return 1;
+                    a_src = (value[head] << 40) | index[head];
+                    head++;
+                } else if (micro == MICRO_LOAD_B) {
+                    if (head >= limit || is_word[head]
+                            || cum[head + 1] - cum[head] != tk * tn)
+                        return 1;
+                    b_src = (value[head] << 40) | index[head];
+                    head++;
+                } else if (micro == MICRO_COMPUTE) {
+                    comp_a[n_comp] = a_src;
+                    comp_b[n_comp] = b_src;
+                    comp_m[n_comp] = tm;
+                    comp_n[n_comp] = tn;
+                    comp_k[n_comp] = tk;
+                    comp_push[n_comp] = -1;
+                    n_comp++;
+                    oc += 2.0 * (double)(tm * tn * tk) / ops_per_cycle;
+                } else if (micro == MICRO_PUSH_C) {
+                    for (int64_t j = pending_start; j < n_comp; j++)
+                        comp_push[j] = n_push;
+                    push_counts[n_push] = n_comp - pending_start;
+                    push_flush[n_push] = f;
+                    out_words[n_push] = tm * tn;
+                    n_push++;
+                    pending_start = n_comp;
+                } else if (micro == MICRO_CONFIGURE) {
+                    int64_t cfg[3];
+                    for (int64_t c = 0; c < 3; c++) {
+                        if (head >= limit || !is_word[head]) return 1;
+                        cfg[c] = value[head];
+                        head++;
+                    }
+                    tm = cfg[0]; tn = cfg[1]; tk = cfg[2];
+                    if (tm <= 0 || tn <= 0 || tk <= 0) return 1;
+                    if (tm % quantum || tn % quantum || tk % quantum)
+                        return 1;
+                    if (tm * tk > capacity || tk * tn > capacity
+                            || tm * tn > capacity)
+                        return 1;
+                    a_src = -1; b_src = -1;
+                    pending_start = n_comp;
+                    for (int64_t o = 0; o < n_opcodes; o++) {
+                        int64_t total = 0;
+                        for (int64_t p = prog_off[o]; p < prog_off[o + 1];
+                             p++) {
+                            if (prog[p] == MICRO_LOAD_A) total += tm * tk;
+                            else if (prog[p] == MICRO_LOAD_B)
+                                total += tk * tn;
+                            else if (prog[p] == MICRO_CONFIGURE) total += 3;
+                        }
+                        needs[o] = total;
+                    }
+                } else if (micro == MICRO_RESET) {
+                    a_src = -1; b_src = -1;
+                    pending_start = n_comp;
+                } else {
+                    return 1;
+                }
+            }
+            cycles += oc;
+            instructions++;
+        }
+        flush_cycles[f] = cycles;
+        flush_instr[f] = instructions;
+    }
+    if (head != n_items) return 1;
+    if (pending_start != n_comp) return 1;
+    final_state[0] = tm; final_state[1] = tn; final_state[2] = tk;
+    final_state[3] = a_src; final_state[4] = b_src;
+    counts[0] = n_comp; counts[1] = n_push;
+    return 0;
+}
+
+int64_t decode_conv_stream(
+    const uint8_t *is_word, const int64_t *value, const int64_t *index,
+    const int64_t *cum, int64_t n_items,
+    const int64_t *flush_limits, int64_t n_flush,
+    int64_t lit_sico, int64_t lit_sf, int64_t lit_ro,
+    int64_t lit_fsize, int64_t lit_ic,
+    int64_t max_ic, int64_t max_fhw, int64_t max_slice,
+    double ops_per_cycle,
+    int64_t *comp_a, int64_t *comp_b, int64_t *comp_k, int64_t *comp_push,
+    int64_t *push_counts, int64_t *push_flush, int64_t *out_words,
+    double *flush_cycles, int64_t *flush_instr,
+    int64_t *final_state, int64_t *counts)
+{
+    int64_t ic = 1, fhw = 1;
+    int64_t filter_src = -1, filter_words = 1;
+    int64_t n_comp = 0, n_push = 0, pending_start = 0;
+    int64_t head = 0;
+    for (int64_t f = 0; f < n_flush; f++) {
+        int64_t limit = flush_limits[f];
+        double cycles = 0.0;
+        int64_t instructions = 0;
+        while (head < limit) {
+            if (!is_word[head]) return 1;
+            int64_t lit = value[head];
+            int64_t window = ic * fhw * fhw;
+            int64_t needs;
+            if (lit == lit_sico || lit == lit_sf) needs = window;
+            else if (lit == lit_ro) needs = 0;
+            else if (lit == lit_fsize || lit == lit_ic) needs = 1;
+            else return 1;
+            if (cum[limit] - cum[head] - 1 < needs) break;
+            head++;
+            if (lit == lit_fsize) {
+                if (head >= limit || !is_word[head]) return 1;
+                int64_t v = value[head];
+                head++;
+                if (v < 1 || v > max_fhw) return 1;
+                fhw = v;
+            } else if (lit == lit_ic) {
+                if (head >= limit || !is_word[head]) return 1;
+                int64_t v = value[head];
+                head++;
+                if (v < 1 || v > max_ic) return 1;
+                ic = v;
+            } else if (lit == lit_sf) {
+                if (head >= limit || is_word[head]
+                        || cum[head + 1] - cum[head] != window)
+                    return 1;
+                filter_src = (value[head] << 40) | index[head];
+                head++;
+                filter_words = window;
+                pending_start = n_comp;
+            } else if (lit == lit_sico) {
+                if (n_comp - pending_start >= max_slice) return 1;
+                if (filter_words != window) return 1;
+                if (head >= limit || is_word[head]
+                        || cum[head + 1] - cum[head] != window)
+                    return 1;
+                comp_a[n_comp] = (value[head] << 40) | index[head];
+                head++;
+                comp_b[n_comp] = filter_src;
+                comp_k[n_comp] = window;
+                comp_push[n_comp] = -1;
+                n_comp++;
+                cycles += 2.0 * (double)window / ops_per_cycle;
+            } else {  /* rO */
+                if (pending_start == n_comp) return 1;
+                for (int64_t j = pending_start; j < n_comp; j++)
+                    comp_push[j] = n_push;
+                push_counts[n_push] = n_comp - pending_start;
+                push_flush[n_push] = f;
+                out_words[n_push] = n_comp - pending_start;
+                n_push++;
+                pending_start = n_comp;
+            }
+            instructions++;
+        }
+        flush_cycles[f] = cycles;
+        flush_instr[f] = instructions;
+    }
+    if (head != n_items) return 1;
+    if (pending_start != n_comp) return 1;
+    final_state[0] = ic; final_state[1] = fhw; final_state[2] = filter_src;
+    counts[0] = n_comp; counts[1] = n_push;
+    return 0;
 }
 
 /* The replay timeline: one entry per charge step, with the exact
@@ -207,6 +509,43 @@ def native_lib() -> Optional[ctypes.CDLL]:
             u8p,
         ]
         lib.lru_hierarchy_batch.restype = None
+        lib.lru_hierarchy_events.argtypes = [
+            i64p, i64p, ctypes.c_int64,
+            i64p, ctypes.c_int64, ctypes.c_int64, ctypes.c_int64,
+            i64p, ctypes.c_int64, ctypes.c_int64, ctypes.c_int64,
+            i64p, i64p, i64p,
+        ]
+        lib.lru_hierarchy_events.restype = None
+        lib.fill_copy_lines.argtypes = [
+            i64p, ctypes.c_int64, i64p, i64p, u8p, i64p,
+            ctypes.c_int64, i64p,
+        ]
+        lib.fill_copy_lines.restype = None
+        lib.decode_matmul_stream.argtypes = [
+            u8p, i64p, i64p, i64p, ctypes.c_int64,
+            i64p, ctypes.c_int64,
+            i64p, i64p, i64p, ctypes.c_int64,
+            ctypes.c_int64, ctypes.c_int64, ctypes.c_double,
+            ctypes.c_int64,
+            i64p, i64p, i64p, i64p, i64p, i64p,
+            i64p, i64p, i64p,
+            f64p, i64p,
+            i64p, i64p,
+        ]
+        lib.decode_matmul_stream.restype = ctypes.c_int64
+        lib.decode_conv_stream.argtypes = [
+            u8p, i64p, i64p, i64p, ctypes.c_int64,
+            i64p, ctypes.c_int64,
+            ctypes.c_int64, ctypes.c_int64, ctypes.c_int64,
+            ctypes.c_int64, ctypes.c_int64,
+            ctypes.c_int64, ctypes.c_int64, ctypes.c_int64,
+            ctypes.c_double,
+            i64p, i64p, i64p, i64p,
+            i64p, i64p, i64p,
+            f64p, i64p,
+            i64p, i64p,
+        ]
+        lib.decode_conv_stream.restype = ctypes.c_int64
         lib.timeline_batch.argtypes = [
             i8p, f64p, f64p, f64p, f64p, f64p, f64p,
             ctypes.c_int64, ctypes.c_int32,

@@ -33,7 +33,10 @@ class TestKernelCache:
         assert stats == {"hits": 1, "misses": 1, "entries": 1}
         assert set(trace_stats) == {"synthesized", "recorded",
                                     "synth_fallback", "disk_loaded",
-                                    "manual_recorded", "manual_fallback"}
+                                    "manual_recorded", "manual_fallback",
+                                    "metrics_plan_hits",
+                                    "metrics_plan_misses",
+                                    "metrics_plan_fallback"}
         assert kernel_a.entry_point is kernel_b.entry_point
         assert kernel_a.source == kernel_b.source
 
@@ -256,6 +259,55 @@ class TestDiskKernelStore:
         assert reader.disk_hits == 1      # the lowered kernel still loads
         assert loaded.trace_state.trace is None  # stale trace evicted
         assert self._run(loaded) == fresh  # rebuilt via synthesis
+
+    def test_metrics_plan_round_trip(self, tmp_path):
+        """Warm processes apply the persisted MetricsPlan in O(state)."""
+        from repro.execution import METRICS_PLAN_COUNTERS
+
+        store = str(tmp_path / "repro_cache")
+        writer = KernelCache(disk_dir=store)
+        kernel = make_compiler(writer).compile_matmul(32, 32, 32)
+        fresh = self._run(kernel)   # first run persists trace + plan
+        assert kernel.trace_state.trace.metrics_plans
+
+        reader = KernelCache(disk_dir=store)
+        loaded = make_compiler(reader).compile_matmul(32, 32, 32)
+        assert reader.disk_hits == 1
+        trace = loaded.trace_state.trace
+        assert trace is not None and trace.metrics_plans
+        before = dict(METRICS_PLAN_COUNTERS)
+        warmed = self._run(loaded)
+        assert warmed == fresh
+        # The fresh board fingerprints identically, so the loaded plan
+        # is applied — no rebuild.
+        assert METRICS_PLAN_COUNTERS["metrics_plan_hits"] \
+            == before["metrics_plan_hits"] + 1
+        assert METRICS_PLAN_COUNTERS["metrics_plan_misses"] \
+            == before["metrics_plan_misses"]
+
+    def test_stale_metrics_schema_evicts_only_plan(self, tmp_path,
+                                                   monkeypatch):
+        import repro.compiler as compiler_mod
+
+        store = str(tmp_path / "repro_cache")
+        writer = KernelCache(disk_dir=store)
+        kernel = make_compiler(writer).compile_matmul(32, 32, 32)
+        fresh = self._run(kernel)
+
+        monkeypatch.setattr(compiler_mod, "METRICS_PLAN_SCHEMA_VERSION",
+                            compiler_mod.METRICS_PLAN_SCHEMA_VERSION + 1)
+        reader = KernelCache(disk_dir=store)
+        loaded = make_compiler(reader).compile_matmul(32, 32, 32)
+        assert reader.disk_hits == 1           # the kernel still loads
+        trace = loaded.trace_state.trace
+        assert trace is not None               # ...and so does the trace
+        assert not trace.metrics_plans         # stale plans evicted
+        assert self._run(loaded) == fresh      # rebuilt from the trace
+        # That replay must refresh the store with current-schema plans:
+        # a third process loads them and takes the O(state) hit path.
+        refreshed = KernelCache(disk_dir=store)
+        reloaded = make_compiler(refreshed).compile_matmul(32, 32, 32)
+        assert reloaded.trace_state.trace.metrics_plans
 
     def test_corrupt_entry_falls_back_to_build(self, tmp_path):
         store = tmp_path / "repro_cache"

@@ -71,3 +71,18 @@ class TestStageGuard:
         base = {"replay_s": 6.0}
         fresh = {"replay_s": 6.0, "brand_new_s": 99.0}
         assert perf_guard.compare_stages(base, fresh, 1.25) == []
+
+    def test_metrics_plan_stages_are_guarded(self):
+        """The metrics-plane stages ride the same generic stage guard."""
+        base = {"metrics_plan_build_s": 2.0, "metrics_plan_apply_s": 0.05}
+        fresh = {"metrics_plan_build_s": 3.0, "metrics_plan_apply_s": 0.05}
+        failures = perf_guard.compare_stages(base, fresh, 1.25)
+        assert any("metrics_plan_build_s" in f for f in failures)
+
+    def test_metrics_plan_apply_floor_crossing_fails(self):
+        """A near-zero apply stage blowing up (plan path silently lost)
+        must trip the floor-crossing rule."""
+        base = {"metrics_plan_apply_s": 0.05}
+        fresh = {"metrics_plan_apply_s": 1.5}
+        failures = perf_guard.compare_stages(base, fresh, 1.25)
+        assert any("metrics_plan_apply_s" in f for f in failures)

@@ -237,13 +237,13 @@ class TestFallbacks:
 
     def test_python_backends_match_per_tile(self, monkeypatch):
         """The no-compiler fallbacks are equally bit-identical."""
-        import repro.execution.replay as replay_mod
         import repro.soc._native as native_mod
 
-        # OfflineLruSimulator resolves native_lib lazily from _native,
-        # so patching the module attribute disables both C kernels.
+        # Every consumer (stream decoders, metrics-plane classification
+        # and timeline, OfflineLruSimulator) resolves native_lib lazily
+        # from _native, so patching the module attribute disables all
+        # C kernels at once.
         monkeypatch.setattr(native_mod, "native_lib", lambda: None)
-        monkeypatch.setattr(replay_mod, "native_lib", lambda: None)
         assert_pair_identical(run_matmul_pair(3, 8, "Cs", 32, 32, 32))
         assert_pair_identical(run_conv_pair(4, 3, 2, 6, 1))
 

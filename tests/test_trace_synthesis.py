@@ -252,12 +252,19 @@ class TestTraceSources:
 
     def test_diagnostics_shape(self):
         report = diagnostics()
-        assert set(report) == {"stage_timings", "trace_sources"}
+        assert set(report) == {"stage_timings", "trace_sources",
+                               "metrics_plan"}
         assert "trace_synth_s" in report["stage_timings"]
         assert "manual_record_s" in report["stage_timings"]
+        assert "metrics_plan_build_s" in report["stage_timings"]
+        assert "metrics_plan_apply_s" in report["stage_timings"]
         assert set(report["trace_sources"]) == {
             "synthesized", "recorded", "synth_fallback", "disk_loaded",
             "manual_recorded", "manual_fallback",
+        }
+        assert set(report["metrics_plan"]) == {
+            "metrics_plan_hits", "metrics_plan_misses",
+            "metrics_plan_fallback",
         }
 
 

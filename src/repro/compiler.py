@@ -14,7 +14,6 @@ from __future__ import annotations
 
 import hashlib
 import os
-import pickle
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field, replace
@@ -56,6 +55,7 @@ from .ir import Module, MemRefType, element_type_from_string, parse_module
 from .ir.printer import print_module
 from .runtime import AxiRuntime, CALL_STYLE_GENERATED, DoubleBufferedRuntime
 from .soc import Board
+from .store import STORE_COUNTERS, KernelStore
 from .transforms import CompileError, build_axi4mlir_pipeline
 from .transforms.lower_to_accel import LoweringPlan
 
@@ -69,7 +69,9 @@ KERNEL_CACHE_DIR_ENV = "REPRO_KERNEL_CACHE_DIR"
 #: library version can never load silently.  (The serialized trace has
 #: its own schema version, TRACE_SCHEMA_VERSION: a trace-only schema
 #: bump evicts just the trace, not the lowered kernel.)
-KERNEL_STORE_VERSION = 2
+#: Version 3: pickle entries replaced by the checksummed JSON+npz
+#: container of :mod:`repro.store`.
+KERNEL_STORE_VERSION = 3
 
 
 _SOURCE_TREE_DIGEST: Optional[str] = None
@@ -192,11 +194,16 @@ class KernelCache:
     from the key.
 
     With ``REPRO_KERNEL_CACHE_DIR`` set (or ``disk_dir`` passed), the
-    cache is additionally backed by an on-disk store keyed by the same
-    fingerprint: a memory miss first tries to load the lowered module +
-    emitted source from disk, and fresh compilations are persisted, so
-    repeated processes skip the lowering pipeline entirely.  The store
-    is eviction-free (load-or-build; entries are only ever added).
+    cache is additionally backed by the on-disk :class:`~repro.store.
+    KernelStore` keyed by the same fingerprint: a memory miss first
+    tries to load the lowered module + emitted source from disk, and
+    fresh compilations are persisted, so repeated processes skip the
+    lowering pipeline entirely.  Entries are checksummed JSON+npz
+    containers (no pickle: an untrusted cache dir can fail to load but
+    never execute code); corrupt files are quarantined and counted as
+    ``disk_corrupt``, distinct from honest ``disk_misses``.  Concurrent
+    processes sharing one store coordinate through per-entry advisory
+    build locks, so each kernel is compiled once.
     """
 
     def __init__(self, maxsize: int = 256,
@@ -205,10 +212,13 @@ class KernelCache:
         self.disk_dir = disk_dir
         self._entries: "OrderedDict[Tuple, CompiledKernel]" = OrderedDict()
         self._lock = Lock()
+        self._stores: dict = {}
         self.hits = 0
         self.misses = 0
         self.disk_hits = 0
         self.disk_misses = 0
+        self.disk_corrupt = 0
+        self.disk_stale = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -220,6 +230,8 @@ class KernelCache:
             self.misses = 0
             self.disk_hits = 0
             self.disk_misses = 0
+            self.disk_corrupt = 0
+            self.disk_stale = 0
 
     def stats(self) -> dict:
         stats = {"hits": self.hits, "misses": self.misses,
@@ -229,7 +241,10 @@ class KernelCache:
         if disk_dir is not None:
             stats.update(disk_hits=self.disk_hits,
                          disk_misses=self.disk_misses,
-                         disk_dir=str(disk_dir))
+                         disk_corrupt=self.disk_corrupt,
+                         disk_stale=self.disk_stale,
+                         disk_dir=str(disk_dir),
+                         store={**STORE_COUNTERS})
         return stats
 
     # -- disk store -------------------------------------------------------
@@ -237,9 +252,19 @@ class KernelCache:
         directory = self.disk_dir or os.environ.get(KERNEL_CACHE_DIR_ENV)
         return Path(directory) if directory else None
 
+    def _resolve_store(self) -> Optional[KernelStore]:
+        directory = self._resolve_disk_dir()
+        if directory is None:
+            return None
+        with self._lock:
+            store = self._stores.get(directory)
+            if store is None:
+                store = self._stores[directory] = KernelStore(directory)
+            return store
+
     @staticmethod
-    def _entry_path(directory: Path, key: Tuple) -> Path:
-        """Entry filename: ``kernel-<src digest>-<key digest>.pkl``.
+    def _entry_name(key: Tuple) -> str:
+        """Entry name: ``kernel-<src digest>-<key digest>``.
 
         The source-tree digest rides in the name twice over — as a
         greppable prefix (so CI can prune entries no current source
@@ -250,34 +275,38 @@ class KernelCache:
         digest = hashlib.sha256(
             repr((KERNEL_STORE_VERSION, source_digest, key)).encode()
         ).hexdigest()
-        return directory / f"kernel-{source_digest[:12]}-{digest}.pkl"
+        return f"kernel-{source_digest[:12]}-{digest}"
 
-    def _count_disk(self, hit: bool) -> None:
+    def _count_disk(self, status: str) -> None:
         with self._lock:
-            if hit:
+            if status == "hit":
                 self.disk_hits += 1
-            else:
+            elif status == "corrupt":
+                self.disk_corrupt += 1
+            elif status == "stale":
+                self.disk_stale += 1
+            else:  # miss / io: the entry simply is not available
                 self.disk_misses += 1
 
-    def _disk_load(self, key: Tuple) -> Optional["CompiledKernel"]:
-        """Load one stored kernel, or ``None``.
+    def _disk_load(self, store: KernelStore, name: str,
+                   count: bool = True) -> Optional["CompiledKernel"]:
+        """Load + reconstruct one stored kernel, or ``None``.
 
-        Entries are pickled (the lowering plan is not text-serializable),
-        so the store directory must be trusted to the same degree as the
-        installed code itself — point ``REPRO_KERNEL_CACHE_DIR`` only at
-        directories you would run Python from.
+        Container/codec failures are already quarantined by the store;
+        a checksum-valid payload that fails *semantic* reconstruction
+        (wrong version field, unparsable IR) is quarantined here for
+        the same reason — the next compile republishes it.
         """
-        directory = self._resolve_disk_dir()
-        if directory is None:
+        status, payload = store.load(name, count=count)
+        if status != "hit":
+            if count:
+                self._count_disk(status)
             return None
-        path = self._entry_path(directory, key)
-        try:
-            payload = pickle.loads(path.read_bytes())
-        except (OSError, pickle.PickleError, EOFError):
-            self._count_disk(hit=False)
-            return None
-        if payload.get("store_version") != KERNEL_STORE_VERSION:
-            self._count_disk(hit=False)
+        if not isinstance(payload, dict) \
+                or payload.get("store_version") != KERNEL_STORE_VERSION:
+            store.quarantine(name)
+            if count:
+                self._count_disk("stale")
             return None
         try:
             module = parse_module(payload["ir"], verify=False)
@@ -286,9 +315,12 @@ class KernelCache:
                 source=payload["source"],
             )
         except Exception:
-            self._count_disk(hit=False)
+            store.quarantine(name)
+            if count:
+                self._count_disk("corrupt")
             return None
-        self._count_disk(hit=True)
+        if count:
+            self._count_disk("hit")
         kernel = CompiledKernel(
             module=module,
             func_name=payload["func_name"],
@@ -322,38 +354,30 @@ class KernelCache:
         return kernel
 
     def _disk_store(self, key: Tuple, kernel: "CompiledKernel") -> None:
-        directory = self._resolve_disk_dir()
-        if directory is None:
+        store = self._resolve_store()
+        if store is None:
             return
         trace = kernel.trace_state.trace
-        try:
-            payload = pickle.dumps({
-                "store_version": KERNEL_STORE_VERSION,
-                "ir": print_module(kernel.module),
-                "func_name": kernel.func_name,
-                "source": kernel.source,
-                "parameters": kernel.parameters,
-                "plan": kernel.plan,
-                "schedule_table": kernel.schedule_table,
-                "trace_schema": TRACE_SCHEMA_VERSION,
-                "trace": trace,
-                # The trace's own pickle excludes metrics_plans (see
-                # DriverTrace.__getstate__); they persist here under
-                # their own schema so stale plans evict independently.
-                "metrics_schema": METRICS_PLAN_SCHEMA_VERSION,
-                "metrics_plans": dict(trace.metrics_plans)
-                if trace is not None else None,
-            })
-        except Exception:
-            return  # unpicklable plan: stay memory-only for this entry
-        try:
-            directory.mkdir(parents=True, exist_ok=True)
-            path = self._entry_path(directory, key)
-            tmp = path.with_suffix(f".tmp.{os.getpid()}")
-            tmp.write_bytes(payload)
-            os.replace(tmp, path)
-        except OSError:
-            pass
+        payload = {
+            "store_version": KERNEL_STORE_VERSION,
+            "ir": print_module(kernel.module),
+            "func_name": kernel.func_name,
+            "source": kernel.source,
+            "parameters": kernel.parameters,
+            "plan": kernel.plan,
+            "schedule_table": kernel.schedule_table,
+            "trace_schema": TRACE_SCHEMA_VERSION,
+            "trace": trace,
+            # The trace's serialized form excludes metrics_plans; they
+            # persist here under their own schema version so stale
+            # plans evict independently of the trace.
+            "metrics_schema": METRICS_PLAN_SCHEMA_VERSION,
+            "metrics_plans": dict(trace.metrics_plans)
+            if trace is not None else None,
+        }
+        # Unencodable payloads (plans outside the codec whitelist) stay
+        # memory-only for this entry; store() reports, never raises.
+        store.store(self._entry_name(key), payload)
 
     def get_or_compile(self, key: Tuple,
                        compile_fn: Callable[[], "CompiledKernel"]
@@ -364,21 +388,35 @@ class KernelCache:
                 self._entries.move_to_end(key)
                 self.hits += 1
                 return cached
-        kernel = self._disk_load(key)
-        if kernel is None:
-            kernel = compile_fn()
-            # Persist immediately (trace-less) so kernels that are
-            # compiled but never run — flow-exploration sweeps — still
-            # skip lowering next process; the persist hook below then
-            # rewrites the entry with the trace after the first replay.
-            # The double write is deliberate: entries are small and the
-            # alternative loses compile-only kernels from the store.
-            self._disk_store(key, kernel)
-        if self._resolve_disk_dir() is not None:
+        store = self._resolve_store()
+        kernel = None
+        if store is not None:
+            name = self._entry_name(key)
+            kernel = self._disk_load(store, name)
+            if kernel is None:
+                # Serialize concurrent builders of this entry: the
+                # losers block here, then find the winner's published
+                # entry on the double-checked load.  Lock acquisition
+                # failing only costs a redundant compile.
+                with store.build_lock(name) as acquired:
+                    if acquired:
+                        kernel = self._disk_load(store, name, count=False)
+                        if kernel is not None:
+                            self._count_disk("hit")
+                    if kernel is None:
+                        kernel = compile_fn()
+                        # Persist immediately (trace-less) so kernels
+                        # that are compiled but never run — flow
+                        # sweeps — still skip lowering next process;
+                        # the persist hook below rewrites the entry
+                        # with the trace after the first replay.
+                        self._disk_store(key, kernel)
             # Re-persist the entry once the first run has built (and
             # decoded) the kernel's trace, so later processes load it.
             kernel.trace_state.persist = \
                 lambda k=kernel, key=key: self._disk_store(key, k)
+        else:
+            kernel = compile_fn()
         with self._lock:
             self.misses += 1
             self._entries[key] = kernel

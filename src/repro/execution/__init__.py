@@ -41,11 +41,27 @@ def diagnostics() -> dict:
     replays obtained their metrics plane (cached-plan hits, fresh
     builds, kill-switch fallbacks) — a nonzero
     ``metrics_plan_fallback`` means the plan path was bypassed.
+
+    ``store`` counts on-disk kernel-store events — ``store_corrupt`` /
+    ``store_quarantined`` are distinct from ``store_misses``, so a
+    corrupted cache directory is visible as such rather than as a cold
+    cache.  ``faults`` counts injected faults per ``REPRO_FAULTS``
+    site, and ``native`` reports why the C fast path is (un)available.
     """
+    # Lazy imports: repro.store and repro.soc._native both import
+    # execution machinery, so pulling them in at module scope would be
+    # circular.
+    from ..faults import fault_counters
+    from ..soc._native import native_status
+    from ..store import STORE_COUNTERS
+
     return {
         "stage_timings": dict(STAGE_TIMINGS),
         "trace_sources": dict(TRACE_COUNTERS),
         "metrics_plan": dict(METRICS_PLAN_COUNTERS),
+        "store": dict(STORE_COUNTERS),
+        "faults": fault_counters(),
+        "native": native_status(),
     }
 
 

@@ -48,6 +48,7 @@ from typing import Dict, List, Tuple
 
 import numpy as np
 
+from .. import faults
 from ..runtime.copy import CopyKinds, copy_charge_terms, plan_for_geometry
 from ..soc.cache import OfflineLruSimulator, _export_ways
 from .trace import (
@@ -244,7 +245,7 @@ def plan_fingerprint(ex, decode_key: Tuple) -> str:
 def obtain_plan(ex, decode_key: Tuple) -> MetricsPlan:
     """Look up (or build and cache) the MetricsPlan for one invocation."""
     trace = ex.trace
-    if not metrics_plan_enabled():
+    if not metrics_plan_enabled() or faults.fires("metrics.plan") == "fail":
         METRICS_PLAN_COUNTERS["metrics_plan_fallback"] += 1
         return _timed_build(ex)
     key = plan_fingerprint(ex, decode_key)

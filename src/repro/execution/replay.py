@@ -37,6 +37,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from .. import faults
 from ..accelerators.conv import ConvAccelerator
 from ..accelerators.matmul import MatMulAccelerator
 from ..numerics import float64_exact_bound, max_abs
@@ -63,6 +64,10 @@ def replay_kernel(trace: DriverTrace, board, rt, descriptors,
     """Execute one invocation of a traced kernel against ``board``."""
     start = time.perf_counter()
     try:
+        # Fault hook: fires before any board/descriptor mutation, so
+        # the per-tile fallback starts from an untouched state.
+        if faults.fires("replay") == "fail":
+            raise ReplayUnsupported("injected replay fault")
         accelerator = board.accelerator
         if accelerator is None:
             raise ReplayUnsupported("no accelerator attached")

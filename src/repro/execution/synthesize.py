@@ -40,6 +40,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from .. import faults
 from .trace import (
     DriverTrace,
     K_CALL,
@@ -642,6 +643,8 @@ def synthesize_trace(schedule_table: Optional[dict],
     """
     start = time.perf_counter()
     try:
+        if faults.fires("synth") == "fail":
+            raise SynthesisUnsupported("injected synthesis fault")
         if not schedule_table:
             raise SynthesisUnsupported("no schedule side table")
         try:

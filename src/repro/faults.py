@@ -1,0 +1,193 @@
+"""Deterministic fault injection for the degradation ladder.
+
+Every layer of the execution pipeline has a graceful-degradation
+fallback (metrics plan -> live metrics plane, synthesis -> recording,
+native C -> pure Python, trace replay -> per-tile execution, disk
+store -> memory-only).  This module lets tests and CI *prove* those
+rungs: a seeded registry decides, per call site, whether an injected
+fault fires, and the hook points in ``store.py``, ``soc/_native.py``,
+``execution/metrics.py``, ``execution/replay.py`` and
+``execution/synthesize.py`` translate a firing into the exact failure
+the fallback is designed to absorb.
+
+Grammar (``REPRO_FAULTS``)::
+
+    REPRO_FAULTS="store.read:io@0.3;native.compile:fail;lock:timeout@0.1"
+
+i.e. ``;``-separated ``site:kind[@probability]`` clauses.  Probability
+defaults to 1.0 (always fire).  ``lock`` is accepted as an alias for
+``store.lock``.  Unknown sites or kinds raise ``FaultConfigError`` at
+parse time so typos fail loudly instead of silently injecting nothing.
+
+Determinism: each site draws from its own ``random.Random`` stream
+seeded by ``(REPRO_FAULTS_SEED, site)``, so the firing schedule of one
+site never depends on how often other sites are consulted, and a fixed
+seed reproduces the exact same schedule across runs and platforms.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import threading
+from typing import Dict, Optional, Tuple
+
+#: Env var holding the fault spec (see module docstring for grammar).
+FAULTS_ENV = "REPRO_FAULTS"
+
+#: Env var holding the integer seed for the per-site streams.
+FAULTS_SEED_ENV = "REPRO_FAULTS_SEED"
+
+#: Hook points wired into the codebase.  Keys are the canonical site
+#: names; values document which failure each kind simulates.
+SITES = {
+    "store.read": ("io", "corrupt"),
+    "store.write": ("io",),
+    "store.lock": ("timeout",),
+    "native.compile": ("fail",),
+    "metrics.plan": ("fail",),
+    "replay": ("fail",),
+    "synth": ("fail",),
+}
+
+#: Accepted shorthand for site names.
+_ALIASES = {"lock": "store.lock"}
+
+
+class FaultConfigError(ValueError):
+    """REPRO_FAULTS contains an unknown site/kind or a bad probability."""
+
+
+class _FaultClause:
+    __slots__ = ("site", "kind", "probability", "stream")
+
+    def __init__(self, site: str, kind: str, probability: float,
+                 seed: int) -> None:
+        self.site = site
+        self.kind = kind
+        self.probability = probability
+        # Seed folds in the site name so each site has an independent,
+        # reproducible stream regardless of consultation order.
+        self.stream = random.Random(f"{seed}:{site}")
+
+
+def parse_faults(spec: str, seed: int = 0) -> Dict[str, _FaultClause]:
+    """Parse a ``REPRO_FAULTS`` spec into per-site clauses."""
+    clauses: Dict[str, _FaultClause] = {}
+    for raw in spec.split(";"):
+        clause = raw.strip()
+        if not clause:
+            continue
+        head, _, prob_text = clause.partition("@")
+        site_text, sep, kind = head.partition(":")
+        if not sep or not kind:
+            raise FaultConfigError(
+                f"fault clause {clause!r} is not of the form "
+                f"'site:kind[@probability]'"
+            )
+        site = _ALIASES.get(site_text.strip(), site_text.strip())
+        kind = kind.strip()
+        if site not in SITES:
+            raise FaultConfigError(
+                f"unknown fault site {site!r}; known sites: "
+                f"{sorted(SITES)}"
+            )
+        if kind not in SITES[site]:
+            raise FaultConfigError(
+                f"site {site!r} does not support kind {kind!r}; "
+                f"supported: {list(SITES[site])}"
+            )
+        if prob_text:
+            try:
+                probability = float(prob_text)
+            except ValueError:
+                raise FaultConfigError(
+                    f"bad probability {prob_text!r} in {clause!r}"
+                ) from None
+            if not 0.0 <= probability <= 1.0:
+                raise FaultConfigError(
+                    f"probability {probability} out of [0, 1] in {clause!r}"
+                )
+        else:
+            probability = 1.0
+        if site in clauses:
+            raise FaultConfigError(f"duplicate clause for site {site!r}")
+        clauses[site] = _FaultClause(site, kind, probability, seed)
+    return clauses
+
+
+#: Counters of fired faults per site, surfaced via ``diagnostics()``.
+FAULT_COUNTERS: Dict[str, int] = {}
+
+_lock = threading.Lock()
+_memo_key: Optional[Tuple[str, str]] = None
+_memo_clauses: Dict[str, _FaultClause] = {}
+
+
+def _active_clauses() -> Dict[str, _FaultClause]:
+    """Clauses for the current env, re-read each call.
+
+    Memoized on the (spec, seed) text so monkeypatched env changes take
+    effect immediately while the common no-faults path stays cheap.
+    """
+    global _memo_key, _memo_clauses
+    spec = os.environ.get(FAULTS_ENV, "")
+    seed_text = os.environ.get(FAULTS_SEED_ENV, "0")
+    key = (spec, seed_text)
+    if key == _memo_key:
+        return _memo_clauses
+    try:
+        seed = int(seed_text)
+    except ValueError:
+        raise FaultConfigError(
+            f"{FAULTS_SEED_ENV}={seed_text!r} is not an integer"
+        ) from None
+    clauses = parse_faults(spec, seed) if spec else {}
+    with _lock:
+        _memo_key = key
+        _memo_clauses = clauses
+    return clauses
+
+
+def faults_active() -> bool:
+    """True when any fault clause is configured."""
+    return bool(_active_clauses())
+
+
+def fires(site: str) -> Optional[str]:
+    """Consult the registry at a hook point.
+
+    Returns the fault *kind* to inject (e.g. ``"io"``) when the site's
+    clause fires this draw, else ``None``.  Each consultation advances
+    the site's private stream, so a probability clause yields a
+    deterministic firing schedule for a fixed seed.
+    """
+    clauses = _active_clauses()
+    clause = clauses.get(site)
+    if clause is None:
+        return None
+    with _lock:
+        if clause.probability < 1.0 and \
+                clause.stream.random() >= clause.probability:
+            return None
+        FAULT_COUNTERS[site] = FAULT_COUNTERS.get(site, 0) + 1
+    return clause.kind
+
+
+def fault_counters() -> Dict[str, int]:
+    """Snapshot of fired-fault counts per site."""
+    with _lock:
+        return dict(FAULT_COUNTERS)
+
+
+def reset_faults() -> None:
+    """Clear counters and memoized clauses (tests)."""
+    global _memo_key, _memo_clauses
+    with _lock:
+        FAULT_COUNTERS.clear()
+        _memo_key = None
+        _memo_clauses = {}
+
+
+class InjectedFault(RuntimeError):
+    """Raised by hook points for kinds simulating hard failures."""

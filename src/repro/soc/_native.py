@@ -33,7 +33,10 @@ import os
 import shutil
 import subprocess
 import tempfile
+import warnings
 from typing import Optional
+
+from .. import faults
 
 _SOURCE = r"""
 #include <stdint.h>
@@ -463,6 +466,34 @@ _lib: Optional[ctypes.CDLL] = None
 _tried = False
 _build_dir: Optional[str] = None
 
+#: Why the library is (un)available: "untried", "ok", "disabled"
+#: (REPRO_NO_NATIVE=1), "no-compiler", "compile-failed", "load-failed",
+#: or "fault-injected".  The memo makes degradation one-shot: the
+#: failed toolchain probe is never re-attempted (and re-paid) on later
+#: calls this process.
+_status = "untried"
+
+
+def native_status() -> dict:
+    """Availability + reason memo (surfaced via ``diagnostics()``)."""
+    return {"available": _lib is not None, "status": _status}
+
+
+def _degrade(status: str, detail: str = "") -> None:
+    """Record an unexpected degradation and warn exactly once.
+
+    ``REPRO_NO_NATIVE=1`` is a request, not a degradation, so it does
+    not warn; everything else does — a silently missing fast path is
+    the kind of 10x slowdown users should hear about once.
+    """
+    global _status
+    _status = status
+    message = f"native fast path unavailable ({status})"
+    if detail:
+        message += f": {detail}"
+    message += "; falling back to the pure-Python implementations"
+    warnings.warn(message, RuntimeWarning, stacklevel=3)
+
 
 def _cleanup() -> None:
     if _build_dir is not None:
@@ -471,15 +502,20 @@ def _cleanup() -> None:
 
 def native_lib() -> Optional[ctypes.CDLL]:
     """The compiled kernel library, or ``None`` when unavailable."""
-    global _lib, _tried, _build_dir
+    global _lib, _tried, _build_dir, _status
     if _tried:
         return _lib
     _tried = True
     if os.environ.get("REPRO_NO_NATIVE", "") == "1":
+        _status = "disabled"
+        return None
+    if faults.fires("native.compile") == "fail":
+        _degrade("fault-injected")
         return None
     compiler = (os.environ.get("CC") or shutil.which("cc")
                 or shutil.which("gcc") or shutil.which("clang"))
     if compiler is None:
+        _degrade("no-compiler")
         return None
     try:
         _build_dir = tempfile.mkdtemp(prefix="repro-native-")
@@ -496,6 +532,8 @@ def native_lib() -> Optional[ctypes.CDLL]:
             capture_output=True, timeout=120,
         )
         if result.returncode != 0:
+            _degrade("compile-failed",
+                     result.stderr.decode(errors="replace").strip()[:200])
             return None
         lib = ctypes.CDLL(shared)
         i64p = ctypes.POINTER(ctypes.c_int64)
@@ -554,6 +592,8 @@ def native_lib() -> Optional[ctypes.CDLL]:
         ]
         lib.timeline_batch.restype = None
         _lib = lib
-    except Exception:
+        _status = "ok"
+    except Exception as exc:
         _lib = None
+        _degrade("load-failed", str(exc)[:200])
     return _lib

@@ -1,9 +1,39 @@
 """Shared fixtures for the test suite."""
 
+import os
+
 import numpy as np
 import pytest
 
 from repro.soc import Board, make_pynq_z2
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "ambient_faults_incompatible: exact store-counter assertions that "
+        "cannot hold when the environment injects REPRO_FAULTS",
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    """CI's chaos leg runs the whole tier-1 suite under REPRO_FAULTS.
+
+    Numeric results must stay bit-identical under injected faults —
+    that is the point of the leg — but tests asserting *exact disk
+    counter values* are definitionally invalid when reads/writes fail
+    probabilistically, so they are skipped there.  (Tests that set
+    REPRO_FAULTS themselves via monkeypatch are unaffected: the marker
+    covers only ambient, externally injected faults.)
+    """
+    if not os.environ.get("REPRO_FAULTS"):
+        return
+    skip = pytest.mark.skip(
+        reason="exact-counter assertions invalid under ambient REPRO_FAULTS"
+    )
+    for item in items:
+        if item.get_closest_marker("ambient_faults_incompatible"):
+            item.add_marker(skip)
 
 
 @pytest.fixture(autouse=True)

@@ -1,0 +1,350 @@
+"""Chaos suite: every degradation-ladder rung under injected faults.
+
+The acceptance bar is bit-identity: for every single injected fault,
+benchmark configurations must produce exactly the PerfCounters and
+output bytes of the clean run — a fault may only ever force an
+already-equivalent fallback path, never change results.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro import faults
+from repro.accelerators import make_conv_system, make_matmul_system
+from repro.compiler import AXI4MLIRCompiler, KernelCache
+from repro.execution import diagnostics
+from repro.execution.metrics import METRICS_PLAN_COUNTERS
+from repro.execution.trace import TRACE_COUNTERS
+from repro.soc import make_pynq_z2
+from repro.store import STORE_COUNTERS, reset_store_counters
+
+
+@pytest.fixture(autouse=True)
+def _clean_fault_env(monkeypatch):
+    """Each test controls its own fault spec, even under CI's chaos leg."""
+    monkeypatch.delenv("REPRO_FAULTS", raising=False)
+    monkeypatch.delenv("REPRO_FAULTS_SEED", raising=False)
+    faults.reset_faults()
+    reset_store_counters()
+    yield
+    faults.reset_faults()
+
+
+class TestGrammar:
+    def test_single_clause_defaults_to_always(self):
+        clauses = faults.parse_faults("store.read:io")
+        assert clauses["store.read"].kind == "io"
+        assert clauses["store.read"].probability == 1.0
+
+    def test_full_spec(self):
+        spec = "store.read:io@0.3;native.compile:fail;lock:timeout@0.1"
+        clauses = faults.parse_faults(spec)
+        assert set(clauses) == {"store.read", "native.compile",
+                                "store.lock"}
+        assert clauses["store.lock"].kind == "timeout"
+        assert clauses["store.lock"].probability == 0.1
+
+    def test_lock_alias(self):
+        assert "store.lock" in faults.parse_faults("lock:timeout")
+
+    @pytest.mark.parametrize("bad", [
+        "unknown.site:io",            # unknown site
+        "store.read:timeout",         # kind not supported by site
+        "store.read",                 # missing kind
+        "store.read:io@1.5",          # probability out of range
+        "store.read:io@x",            # unparsable probability
+        "store.read:io;store.read:corrupt",  # duplicate site
+    ])
+    def test_bad_specs_fail_loudly(self, bad):
+        with pytest.raises(faults.FaultConfigError):
+            faults.parse_faults(bad)
+
+    def test_inactive_without_env(self):
+        assert not faults.faults_active()
+        assert faults.fires("store.read") is None
+
+    def test_env_changes_take_effect_immediately(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "store.read:io")
+        assert faults.fires("store.read") == "io"
+        monkeypatch.setenv("REPRO_FAULTS", "")
+        assert faults.fires("store.read") is None
+
+
+class TestDeterminism:
+    def _schedule(self, seed, draws=64):
+        faults.reset_faults()
+        os.environ["REPRO_FAULTS"] = "replay:fail@0.3"
+        os.environ["REPRO_FAULTS_SEED"] = str(seed)
+        try:
+            return [faults.fires("replay") for _ in range(draws)]
+        finally:
+            del os.environ["REPRO_FAULTS"]
+            del os.environ["REPRO_FAULTS_SEED"]
+
+    def test_same_seed_same_schedule(self):
+        assert self._schedule(7) == self._schedule(7)
+
+    def test_different_seed_different_schedule(self):
+        assert self._schedule(7) != self._schedule(8)
+
+    def test_probability_thins_the_schedule(self):
+        fired = [k for k in self._schedule(7, draws=200) if k]
+        assert 20 < len(fired) < 120  # ~0.3 of 200
+
+    def test_sites_draw_independent_streams(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS",
+                           "replay:fail@0.5;synth:fail@0.5")
+        monkeypatch.setenv("REPRO_FAULTS_SEED", "3")
+        interleaved = [faults.fires("replay") for _ in range(32)]
+        faults.reset_faults()
+        for _ in range(32):
+            faults.fires("synth")  # extra draws on the *other* site
+        alone = [faults.fires("replay") for _ in range(32)]
+        assert interleaved == alone
+
+    def test_counters_track_fired_sites(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "synth:fail")
+        for _ in range(3):
+            assert faults.fires("synth") == "fail"
+        assert faults.fault_counters()["synth"] == 3
+
+
+# -- bit-identity under every single fault ----------------------------------
+
+CONFIGS = [
+    ("matmul", dict(version=3, size=8, flow="Cs"), (32, 32, 32)),
+    ("matmul", dict(version=2, size=4, flow="As"), (16, 16, 16)),
+    ("conv", dict(ic=4, fhw=3), (1, 4, 8, 4, 3)),
+]
+
+FAULT_SPECS = [
+    "store.read:io",
+    "store.read:corrupt",
+    "store.write:io",
+    "store.lock:timeout",
+    "native.compile:fail",
+    "metrics.plan:fail",
+    "replay:fail",
+    "synth:fail",
+]
+
+
+def _run_config(kind, params, shape, store_dir):
+    """Compile + run one benchmark config twice, then once via a disk
+    reload; returns everything that must be bit-identical."""
+    if kind == "matmul":
+        hw, info = make_matmul_system(**params)
+        m, n, k = shape
+        rng = np.random.default_rng(77)
+        arrays = [rng.integers(-5, 5, (m, k)).astype(np.int32),
+                  rng.integers(-5, 5, (k, n)).astype(np.int32)]
+        out_shape = (m, n)
+        compile_fn = lambda c: c.compile_matmul(m, n, k)  # noqa: E731
+    else:
+        hw, info = make_conv_system(**params)
+        batch, in_ch, in_hw, out_ch, f_hw = shape
+        out_hw = in_hw - f_hw + 1
+        rng = np.random.default_rng(78)
+        arrays = [
+            rng.integers(-4, 4, (batch, in_ch, in_hw, in_hw))
+            .astype(np.int32),
+            rng.integers(-4, 4, (out_ch, in_ch, f_hw, f_hw))
+            .astype(np.int32),
+        ]
+        out_shape = (batch, out_ch, out_hw, out_hw)
+        compile_fn = lambda c: c.compile_conv(*shape)  # noqa: E731
+
+    results = []
+
+    def run(kernel):
+        board = make_pynq_z2()
+        board.attach_accelerator(hw)
+        out = np.zeros(out_shape, np.int32)
+        counters = kernel.run(board, *arrays, out)
+        results.append((counters.as_dict(), out.tobytes()))
+
+    cache = KernelCache(disk_dir=store_dir)
+    kernel = compile_fn(AXI4MLIRCompiler(info, kernel_cache=cache))
+    run(kernel)
+    run(kernel)  # warm kernel: trace + metrics-plan paths
+    reader = KernelCache(disk_dir=store_dir)
+    run(compile_fn(AXI4MLIRCompiler(info, kernel_cache=reader)))
+    return results
+
+
+@pytest.fixture(scope="module")
+def clean_baselines(tmp_path_factory):
+    """Fault-free reference results, computed once per module.
+
+    Module-scoped, so it sets up before the function-scoped autouse
+    env scrub — ambient faults (CI's chaos leg) are removed by hand.
+    """
+    ambient = {name: os.environ.pop(name, None)
+               for name in ("REPRO_FAULTS", "REPRO_FAULTS_SEED")}
+    faults.reset_faults()
+    try:
+        baselines = {}
+        for index, (kind, params, shape) in enumerate(CONFIGS):
+            store = tmp_path_factory.mktemp(f"clean-store-{index}")
+            baselines[index] = _run_config(kind, params, shape, str(store))
+        return baselines
+    finally:
+        for name, value in ambient.items():
+            if value is not None:
+                os.environ[name] = value
+
+
+class TestSingleFaultBitIdentity:
+    @pytest.mark.parametrize("spec", FAULT_SPECS)
+    @pytest.mark.parametrize("config_index", range(len(CONFIGS)))
+    def test_fault_preserves_results(self, spec, config_index,
+                                     clean_baselines, tmp_path,
+                                     monkeypatch):
+        kind, params, shape = CONFIGS[config_index]
+        if spec == "native.compile:fail":
+            # The native probe is memoized process-wide; reset it so
+            # the injected fault actually gets a shot at this call.
+            from repro.soc import _native
+            monkeypatch.setattr(_native, "_tried", False)
+            monkeypatch.setattr(_native, "_lib", None)
+            monkeypatch.setattr(_native, "_status", "untried")
+        monkeypatch.setenv("REPRO_FAULTS", spec)
+        monkeypatch.setenv("REPRO_FAULTS_SEED", "11")
+        faults.reset_faults()
+        with pytest.warns(RuntimeWarning) \
+                if spec == "native.compile:fail" else _nullcontext():
+            results = _run_config(kind, params, shape, str(tmp_path))
+        assert results == clean_baselines[config_index]
+        if spec not in ("store.lock:timeout",):
+            # Probability 1.0: the fault must actually have fired.
+            site = spec.split(":")[0]
+            assert faults.fault_counters().get(site, 0) > 0
+
+
+def _nullcontext():
+    import contextlib
+    return contextlib.nullcontext()
+
+
+# -- the ladder's bookkeeping under faults ----------------------------------
+
+class TestDegradationCounters:
+    def _compile_and_run(self, store_dir=None, shape=(16, 16, 16)):
+        hw, info = make_matmul_system(3, 8, flow="Ns")
+        cache = KernelCache(disk_dir=store_dir)
+        kernel = AXI4MLIRCompiler(info, kernel_cache=cache) \
+            .compile_matmul(*shape)
+        board = make_pynq_z2()
+        board.attach_accelerator(hw)
+        rng = np.random.default_rng(5)
+        m, n, k = shape
+        a = rng.integers(-5, 5, (m, k)).astype(np.int32)
+        b = rng.integers(-5, 5, (k, n)).astype(np.int32)
+        c = np.zeros((m, n), np.int32)
+        kernel.run(board, a, b, c)
+        return cache
+
+    def test_synth_fault_falls_back_to_recording(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "synth:fail")
+        before = dict(TRACE_COUNTERS)
+        self._compile_and_run()
+        assert TRACE_COUNTERS["synth_fallback"] \
+            == before["synth_fallback"] + 1
+        assert TRACE_COUNTERS["recorded"] == before["recorded"] + 1
+
+    def test_metrics_fault_counts_as_fallback(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "metrics.plan:fail")
+        before = dict(METRICS_PLAN_COUNTERS)
+        self._compile_and_run()
+        assert METRICS_PLAN_COUNTERS["metrics_plan_fallback"] \
+            > before["metrics_plan_fallback"]
+
+    def test_store_read_io_counts_io_not_miss(self, tmp_path,
+                                              monkeypatch):
+        store = str(tmp_path / "s")
+        self._compile_and_run(store_dir=store)  # publish cleanly
+        monkeypatch.setenv("REPRO_FAULTS", "store.read:io")
+        cache = self._compile_and_run(store_dir=store)
+        assert STORE_COUNTERS["store_io_errors"] > 0
+        assert cache.disk_hits == 0 and cache.disk_corrupt == 0
+
+    def test_store_corrupt_fault_quarantines_then_recovers(
+            self, tmp_path, monkeypatch):
+        store = tmp_path / "s"
+        self._compile_and_run(store_dir=str(store))
+        monkeypatch.setenv("REPRO_FAULTS", "store.read:corrupt")
+        cache = self._compile_and_run(store_dir=str(store))
+        assert cache.disk_corrupt == 1
+        assert list((store / "corrupt").iterdir())
+        # Fault lifted: the republished entry loads again.
+        monkeypatch.delenv("REPRO_FAULTS")
+        recovered = self._compile_and_run(store_dir=str(store))
+        assert recovered.disk_hits == 1
+
+    def test_store_write_fault_leaves_no_partial_entry(self, tmp_path,
+                                                       monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "store.write:io")
+        store = tmp_path / "s"
+        self._compile_and_run(store_dir=str(store))
+        assert STORE_COUNTERS["store_write_failures"] > 0
+        files = [p for p in store.rglob("*") if p.is_file()
+                 and not p.name.endswith(".lock")]
+        assert files == []  # nothing published, nothing leaked
+
+    def test_lock_timeout_fault_still_compiles(self, tmp_path,
+                                               monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "store.lock:timeout")
+        cache = self._compile_and_run(store_dir=str(tmp_path / "s"))
+        assert STORE_COUNTERS["store_lock_timeouts"] > 0
+        assert cache.misses == 1  # compiled despite no coordination
+
+
+class TestNativeFaultMemo:
+    def test_one_shot_warning_and_no_retry(self, monkeypatch):
+        from repro.soc import _native
+
+        monkeypatch.setattr(_native, "_tried", False)
+        monkeypatch.setattr(_native, "_lib", None)
+        monkeypatch.setattr(_native, "_status", "untried")
+        monkeypatch.setenv("REPRO_FAULTS", "native.compile:fail")
+        faults.reset_faults()
+        with pytest.warns(RuntimeWarning, match="fault-injected"):
+            assert _native.native_lib() is None
+        fired = faults.fault_counters()["native.compile"]
+        # Memoized: later calls neither warn nor re-probe the fault.
+        import warnings as warnings_mod
+        with warnings_mod.catch_warnings():
+            warnings_mod.simplefilter("error")
+            assert _native.native_lib() is None
+        assert faults.fault_counters()["native.compile"] == fired
+        assert _native.native_status() == {
+            "available": False, "status": "fault-injected",
+        }
+
+    def test_no_native_env_is_silent(self, monkeypatch):
+        from repro.soc import _native
+
+        monkeypatch.setattr(_native, "_tried", False)
+        monkeypatch.setattr(_native, "_lib", None)
+        monkeypatch.setattr(_native, "_status", "untried")
+        monkeypatch.setenv("REPRO_NO_NATIVE", "1")
+        import warnings as warnings_mod
+        with warnings_mod.catch_warnings():
+            warnings_mod.simplefilter("error")
+            assert _native.native_lib() is None
+        assert _native.native_status()["status"] == "disabled"
+
+
+class TestDiagnostics:
+    def test_diagnostics_has_robustness_sections(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "synth:fail")
+        faults.fires("synth")
+        report = diagnostics()
+        assert set(report) >= {"stage_timings", "trace_sources",
+                               "metrics_plan", "store", "faults",
+                               "native"}
+        assert report["faults"].get("synth", 0) >= 1
+        assert set(report["store"]) == set(STORE_COUNTERS)
+        assert "status" in report["native"]

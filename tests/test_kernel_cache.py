@@ -139,8 +139,14 @@ class TestKernelCache:
         assert accelerator_fingerprint(ns) == accelerator_fingerprint(ns2)
 
 
+@pytest.mark.ambient_faults_incompatible
 class TestDiskKernelStore:
     """The on-disk store (REPRO_KERNEL_CACHE_DIR / .repro_cache)."""
+
+    @staticmethod
+    def entry_files(store) -> list:
+        import pathlib
+        return sorted(pathlib.Path(store, "objects").glob("*/*.entry"))
 
     def test_load_or_build_across_cache_instances(self, tmp_path):
         store = str(tmp_path / "repro_cache")
@@ -309,13 +315,62 @@ class TestDiskKernelStore:
         reloaded = make_compiler(refreshed).compile_matmul(32, 32, 32)
         assert reloaded.trace_state.trace.metrics_plans
 
-    def test_corrupt_entry_falls_back_to_build(self, tmp_path):
+    def test_corrupt_entry_is_quarantined_and_rebuilt(self, tmp_path):
+        """Corruption is counted apart from misses, the file moves to
+        corrupt/, and the rebuild republishes a loadable entry."""
         store = tmp_path / "repro_cache"
         writer = KernelCache(disk_dir=str(store))
         make_compiler(writer).compile_matmul(16, 16, 16)
-        for entry in store.glob("kernel-*.pkl"):
-            entry.write_bytes(b"corrupt")
+        entries = self.entry_files(store)
+        assert len(entries) == 1
+        entries[0].write_bytes(b"not a kernel store entry")
+
         reader = KernelCache(disk_dir=str(store))
         kernel = make_compiler(reader).compile_matmul(16, 16, 16)
-        assert reader.disk_hits == 0 and reader.disk_misses == 1
         assert kernel.source  # rebuilt from scratch
+        assert reader.disk_corrupt == 1
+        assert reader.disk_hits == 0 and reader.disk_misses == 0
+        quarantined = list((store / "corrupt").iterdir())
+        assert len(quarantined) == 1  # evidence kept, never re-read
+
+        # The rebuild republished: a third process loads cleanly.
+        third = KernelCache(disk_dir=str(store))
+        make_compiler(third).compile_matmul(16, 16, 16)
+        assert third.disk_hits == 1
+        assert third.disk_corrupt == 0
+
+    def test_truncated_entry_is_corrupt_not_miss(self, tmp_path):
+        """A writer killed mid-crash leaves either no entry (tmp files
+        are invisible) or, with a torn tool, a short file — which must
+        fail the checksum, not load garbage."""
+        store = tmp_path / "repro_cache"
+        writer = KernelCache(disk_dir=str(store))
+        make_compiler(writer).compile_matmul(16, 16, 16)
+        entry = self.entry_files(store)[0]
+        blob = entry.read_bytes()
+        entry.write_bytes(blob[: len(blob) // 2])
+        reader = KernelCache(disk_dir=str(store))
+        make_compiler(reader).compile_matmul(16, 16, 16)
+        assert reader.disk_corrupt == 1 and reader.disk_misses == 0
+
+    def test_legacy_pickle_entries_are_ignored(self, tmp_path):
+        """Version-skew: store-v2 flat ``kernel-*.pkl`` files alongside
+        new entries are never consulted (and never crash the loader)."""
+        store = tmp_path / "repro_cache"
+        store.mkdir()
+        (store / "kernel-deadbeef0000-abc.pkl").write_bytes(b"\x80\x04old")
+        cache = KernelCache(disk_dir=str(store))
+        make_compiler(cache).compile_matmul(16, 16, 16)
+        assert cache.disk_misses == 1 and cache.disk_corrupt == 0
+        reader = KernelCache(disk_dir=str(store))
+        make_compiler(reader).compile_matmul(16, 16, 16)
+        assert reader.disk_hits == 1
+        assert (store / "kernel-deadbeef0000-abc.pkl").exists()
+
+    def test_publish_leaves_no_tmp_litter(self, tmp_path):
+        store = tmp_path / "repro_cache"
+        cache = KernelCache(disk_dir=str(store))
+        kernel = make_compiler(cache).compile_matmul(32, 32, 32)
+        self._run(kernel)  # persist hook rewrites the entry
+        leftovers = [p for p in store.rglob("*") if ".tmp-" in p.name]
+        assert leftovers == []

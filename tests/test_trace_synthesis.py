@@ -253,7 +253,8 @@ class TestTraceSources:
     def test_diagnostics_shape(self):
         report = diagnostics()
         assert set(report) == {"stage_timings", "trace_sources",
-                               "metrics_plan"}
+                               "metrics_plan", "store", "faults",
+                               "native"}
         assert "trace_synth_s" in report["stage_timings"]
         assert "manual_record_s" in report["stage_timings"]
         assert "metrics_plan_build_s" in report["stage_timings"]

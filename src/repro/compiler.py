@@ -48,6 +48,7 @@ from .execution.trace import (
     TRACE_COUNTERS,
     TRACE_SCHEMA_VERSION,
     TraceUnsupported,
+    add_stage_time,
     record_trace,
     trace_enabled,
 )
@@ -233,10 +234,23 @@ class KernelCache:
             self.disk_corrupt = 0
             self.disk_stale = 0
 
+    def merge_stats(self, delta: dict) -> None:
+        """Fold a pool worker's hit/miss deltas into this cache's totals."""
+        with self._lock:
+            self.hits += delta.get("hits", 0)
+            self.misses += delta.get("misses", 0)
+            self.disk_hits += delta.get("disk_hits", 0)
+            self.disk_misses += delta.get("disk_misses", 0)
+            self.disk_corrupt += delta.get("disk_corrupt", 0)
+            self.disk_stale += delta.get("disk_stale", 0)
+
     def stats(self) -> dict:
+        from .execution.model_plan import MODEL_PLAN_COUNTERS
+
         stats = {"hits": self.hits, "misses": self.misses,
                  "entries": len(self._entries),
-                 "trace": {**TRACE_COUNTERS, **METRICS_PLAN_COUNTERS}}
+                 "trace": {**TRACE_COUNTERS, **METRICS_PLAN_COUNTERS,
+                           **MODEL_PLAN_COUNTERS}}
         disk_dir = self._resolve_disk_dir()
         if disk_dir is not None:
             stats.update(disk_hits=self.disk_hits,
@@ -481,7 +495,8 @@ class CompiledKernel:
 
     def run(self, board: Board, *arrays: np.ndarray,
             runtime: Optional[AxiRuntime] = None,
-            trace: Optional[bool] = None):
+            trace: Optional[bool] = None,
+            plan_source=None):
         """Execute the emitted host code against ``board``.
 
         Returns the perf counter delta for this invocation.
@@ -494,13 +509,17 @@ class CompiledKernel:
         ``None`` (the default) enables it unless ``REPRO_NO_TRACE=1``;
         unsupported drivers or runtimes fall back to per-tile execution
         transparently.
+
+        ``plan_source`` overrides how the replay obtains its metrics
+        plane (see :func:`repro.execution.replay.replay_kernel`); model
+        sessions use it to serve fused per-step sub-plans.
         """
         rt = runtime or self.make_runtime(board)
         descriptors = [rt.make_memref(np.ascontiguousarray(a), f"arg{i}")
                        for i, a in enumerate(arrays)]
         before = board.snapshot()
         if self._trace_applicable(trace, rt) \
-                and self._run_traced(board, rt, descriptors):
+                and self._run_traced(board, rt, descriptors, plan_source):
             return board.measure_since(before)
         self.entry_point(rt, *descriptors)
         return board.measure_since(before)
@@ -550,7 +569,7 @@ class CompiledKernel:
         TRACE_COUNTERS["recorded"] += 1
         return recorded
 
-    def _run_traced(self, board, rt, descriptors) -> bool:
+    def _run_traced(self, board, rt, descriptors, plan_source=None) -> bool:
         state = self.trace_state
         if state.failed:
             return False
@@ -574,7 +593,8 @@ class CompiledKernel:
             return False
         try:
             replay_kernel(state.trace, board, rt, descriptors,
-                          type(rt) is DoubleBufferedRuntime)
+                          type(rt) is DoubleBufferedRuntime,
+                          plan_source=plan_source)
         except TraceUnsupported:
             return False
         if state.persist is not None and not state.persisted:
@@ -661,7 +681,7 @@ class AXI4MLIRCompiler:
                 schedule_table=schedule_table,
             )
         finally:
-            STAGE_TIMINGS["compile_s"] += time.perf_counter() - start
+            add_stage_time("compile_s", time.perf_counter() - start)
 
     def _cache_key(self, kernel_name: str, shape: Tuple) -> Tuple:
         permutation = tuple(self.permutation) \

@@ -27,6 +27,20 @@ from .metrics import (
     metrics_plan_enabled,
     reset_metrics_plan_counters,
 )
+from .model_plan import (
+    MODEL_PLAN_COUNTERS,
+    MODEL_PLAN_SCHEMA_VERSION,
+    ModelPlan,
+    ModelPlanMismatch,
+    ModelSession,
+    merge_worker_diagnostics,
+    model_check_requested,
+    model_plan_enabled,
+    model_workers,
+    reset_model_plan_counters,
+    reset_model_plans,
+    run_model_jobs,
+)
 from .replay import ReplayExecutor, replay_kernel
 
 
@@ -41,6 +55,14 @@ def diagnostics() -> dict:
     replays obtained their metrics plane (cached-plan hits, fresh
     builds, kill-switch fallbacks) — a nonzero
     ``metrics_plan_fallback`` means the plan path was bypassed.
+    ``model_plan`` counts the model-granularity layer on top: fused
+    ModelPlan sessions replayed vs recorded, per-step sub-plan hits,
+    divergences, and how many pool workers merged their deltas back.
+
+    All counters include work merged back from replay pool workers
+    (see :func:`repro.execution.model_plan.run_model_jobs`) — they are
+    totals for the work this process *observed*, not just the work it
+    did on its own threads.
 
     ``store`` counts on-disk kernel-store events — ``store_corrupt`` /
     ``store_quarantined`` are distinct from ``store_misses``, so a
@@ -59,6 +81,7 @@ def diagnostics() -> dict:
         "stage_timings": dict(STAGE_TIMINGS),
         "trace_sources": dict(TRACE_COUNTERS),
         "metrics_plan": dict(METRICS_PLAN_COUNTERS),
+        "model_plan": dict(MODEL_PLAN_COUNTERS),
         "store": dict(STORE_COUNTERS),
         "faults": fault_counters(),
         "native": native_status(),
@@ -74,6 +97,10 @@ __all__ = [
     "METRICS_PLAN_COUNTERS", "METRICS_PLAN_SCHEMA_VERSION", "MetricsPlan",
     "MetricsPlanMismatch", "metrics_check_requested",
     "metrics_plan_enabled", "reset_metrics_plan_counters",
+    "MODEL_PLAN_COUNTERS", "MODEL_PLAN_SCHEMA_VERSION", "ModelPlan",
+    "ModelPlanMismatch", "ModelSession", "merge_worker_diagnostics",
+    "model_check_requested", "model_plan_enabled", "model_workers",
+    "reset_model_plan_counters", "reset_model_plans", "run_model_jobs",
     "ReplayExecutor", "replay_kernel",
     "diagnostics",
 ]

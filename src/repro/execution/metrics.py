@@ -50,7 +50,7 @@ import numpy as np
 
 from .. import faults
 from ..runtime.copy import CopyKinds, copy_charge_terms, plan_for_geometry
-from ..soc.cache import OfflineLruSimulator, _export_ways
+from ..soc.cache import OfflineLruSimulator, _export_ways, install_ways
 from .trace import (
     K_CALL,
     K_COPY,
@@ -62,6 +62,7 @@ from .trace import (
     K_SUB,
     K_WORD,
     STAGE_TIMINGS,
+    add_stage_time,
 )
 
 #: Kill switch: set REPRO_NO_METRICS_PLAN=1 to recompute the metrics
@@ -138,7 +139,7 @@ class MetricsPlan:
         self.final_state: np.ndarray = None
         #: Final LRU contents as way arrays (MRU first, -1 empty slot) —
         #: the order-explicit, compactly serializable form; applying
-        #: expands them into Cache._sets dicts in one O(state) pass.
+        #: installs them as lazily-expanded Cache state mirrors.
         self.l1_ways: np.ndarray = None
         self.l2_ways: np.ndarray = None
         self.l1_hits_d = 0
@@ -274,7 +275,7 @@ def _timed_build(ex) -> MetricsPlan:
     try:
         return build_plan(ex)
     finally:
-        STAGE_TIMINGS["metrics_plan_build_s"] += time.perf_counter() - start
+        add_stage_time("metrics_plan_build_s", time.perf_counter() - start)
 
 
 # -- plan application -------------------------------------------------------
@@ -325,7 +326,7 @@ def apply_plan(ex, plan: MetricsPlan) -> None:
     engine.transactions += stats["engine_transactions"]
     engine.bytes_sent += stats["dma_bytes_to_accel"]
     engine.bytes_received += stats["dma_bytes_from_accel"]
-    STAGE_TIMINGS["metrics_plan_apply_s"] += time.perf_counter() - start
+    add_stage_time("metrics_plan_apply_s", time.perf_counter() - start)
 
 
 # -- plan construction ------------------------------------------------------
@@ -630,26 +631,13 @@ def _ways_from_sim_state(cache, state) -> np.ndarray:
 
 
 def _install_ways(cache, ways: np.ndarray) -> None:
-    """Expand a way array into Cache._sets (insertion = LRU -> MRU).
+    """Install a way array as the cache's LRU state (lazily expanded).
 
-    Occupied slots always form a prefix of each row (the exporters fill
-    from slot 0 and the LRU state machines shift-insert at the MRU end),
-    so per-row occupancy counts replace per-slot filtering.
+    Delegates to :func:`repro.soc.cache.install_ways`: the array is
+    adopted as a mirror and only expanded into the per-set dicts when
+    something reads them — consecutive replay steps never do.
     """
-    assoc = cache.associativity
-    grid = ways.reshape(cache.num_sets, assoc)
-    occupancy = (grid >= 0).sum(axis=1).tolist()
-    rows = grid.tolist()
-    sets = cache._sets
-    for i, occ in enumerate(occupancy):
-        if occ == assoc:
-            row = rows[i]
-            row.reverse()
-            sets[i] = dict.fromkeys(row)
-        elif occ:
-            sets[i] = dict.fromkeys(rows[i][occ - 1::-1])
-        else:
-            sets[i] = {}
+    install_ways(cache, ways)
 
 
 def _run_timeline(ex, cyc, br, rf, rf2) -> np.ndarray:

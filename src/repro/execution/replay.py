@@ -48,6 +48,7 @@ from .trace import (
     DriverTrace,
     STAGE_TIMINGS,
     TraceUnsupported,
+    add_stage_time,
     _tile_indices,
     decode_for_accelerator,
     decode_key,
@@ -60,8 +61,15 @@ _BLOCK_ELEMENTS = 1 << 23
 
 
 def replay_kernel(trace: DriverTrace, board, rt, descriptors,
-                  double_buffered: bool) -> None:
-    """Execute one invocation of a traced kernel against ``board``."""
+                  double_buffered: bool, plan_source=None) -> None:
+    """Execute one invocation of a traced kernel against ``board``.
+
+    ``plan_source`` optionally overrides how the metrics plane is
+    obtained — ``(executor, decode_key) -> MetricsPlan`` — and is how a
+    :class:`~repro.execution.model_plan.ModelSession` serves fused
+    per-step sub-plans; ``None`` uses the per-kernel
+    :func:`~repro.execution.metrics.obtain_plan` path.
+    """
     start = time.perf_counter()
     try:
         # Fault hook: fires before any board/descriptor mutation, so
@@ -73,10 +81,10 @@ def replay_kernel(trace: DriverTrace, board, rt, descriptors,
             raise ReplayUnsupported("no accelerator attached")
         plan = decode_for_accelerator(trace, accelerator)
         executor = ReplayExecutor(trace, plan, board, rt, descriptors,
-                                  double_buffered)
+                                  double_buffered, plan_source)
         executor.execute()
     finally:
-        STAGE_TIMINGS["replay_s"] += time.perf_counter() - start
+        add_stage_time("replay_s", time.perf_counter() - start)
 
 
 class _PushRows:
@@ -101,13 +109,14 @@ class _PushRows:
 
 class ReplayExecutor:
     def __init__(self, trace: DriverTrace, plan: DecodedPlan, board, rt,
-                 descriptors, double_buffered: bool):
+                 descriptors, double_buffered: bool, plan_source=None):
         self.trace = trace
         self.plan = plan
         self.board = board
         self.rt = rt
         self.descriptors = descriptors
         self.double_buffered = double_buffered
+        self.plan_source = plan_source
         self.engine: Optional[DmaEngine] = None
         #: Per-class full flat-index arrays, memoized for the replay's
         #: lifetime: operand tiles are re-gathered across many compute
@@ -165,8 +174,10 @@ class ReplayExecutor:
         push_data = self._compute_functional()
         self._install_engine()
         # Metrics plane: cached per (trace, runtime-config/state
-        # fingerprint), rebuilt from scratch on a miss.
-        mplan = metrics.obtain_plan(self, decode_key(self.board.accelerator))
+        # fingerprint), rebuilt from scratch on a miss — or served from
+        # a fused ModelPlan when a session supplied a plan_source.
+        source = self.plan_source or metrics.obtain_plan
+        mplan = source(self, decode_key(self.board.accelerator))
         # Input-region reconstruction must read the argument arrays
         # before receives land in them: the recording guard guarantees
         # every send precedes the first receive of its argument, so the

@@ -55,6 +55,7 @@ from .trace import (
     STAGE_TIMINGS,
     TraceUnsupported,
     _TileClass,
+    add_stage_time,
     _scatter_is_disjoint,
 )
 
@@ -657,7 +658,7 @@ def synthesize_trace(schedule_table: Optional[dict],
                 f"schedule not synthesizable: {exc!r}"
             ) from exc
     finally:
-        STAGE_TIMINGS["trace_synth_s"] += time.perf_counter() - start
+        add_stage_time("trace_synth_s", time.perf_counter() - start)
 
 
 # -- cross-check -----------------------------------------------------------

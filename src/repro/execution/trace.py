@@ -28,6 +28,7 @@ tracing is always an optimization, never a semantics change.
 from __future__ import annotations
 
 import os
+import threading
 import time
 from collections import OrderedDict
 from typing import Dict, List, Optional, Tuple
@@ -68,7 +69,29 @@ STAGE_TIMINGS: Dict[str, float] = {
     # a MetricsPlan from scratch vs applying a cached one in O(state).
     "metrics_plan_build_s": 0.0,
     "metrics_plan_apply_s": 0.0,
+    # Model-granularity breakdown: fusing/persisting a session's
+    # ModelPlan vs serving a fused sub-plan (a subset of replay_s).
+    "model_plan_build_s": 0.0,
+    "model_plan_apply_s": 0.0,
 }
+
+#: Guards STAGE_TIMINGS mutation: stage times are accumulated from
+#: arbitrary threads (and merged wholesale from pool workers), and
+#: float ``+=`` on a dict slot is not atomic.
+_TIMINGS_LOCK = threading.Lock()
+
+
+def add_stage_time(stage: str, seconds: float) -> None:
+    """Thread-safely accumulate wall-clock into one pipeline stage."""
+    with _TIMINGS_LOCK:
+        STAGE_TIMINGS[stage] += seconds
+
+
+def merge_stage_timings(delta: Dict[str, float]) -> None:
+    """Fold a worker's per-stage deltas into this process's totals."""
+    with _TIMINGS_LOCK:
+        for stage, seconds in delta.items():
+            STAGE_TIMINGS[stage] = STAGE_TIMINGS.get(stage, 0.0) + seconds
 
 #: How each kernel's DriverTrace was obtained this process:
 #: ``synthesized`` (ahead-of-time from the schedule side table),
@@ -366,7 +389,7 @@ def record_trace(entry_point, arg_specs,
             )
         trace = _compile_events(recorder, arg_specs)
     finally:
-        STAGE_TIMINGS[stage] += time.perf_counter() - start
+        add_stage_time(stage, time.perf_counter() - start)
     return trace
 
 

@@ -8,11 +8,15 @@ print them as tables, and the paper-claims tests assert their shapes.
 from .harness import (
     kernel_cache_stats,
     stage_timings,
+    conv_model_counters,
+    matmul_model_counters,
     measure_cpu_matmul,
     measure_generated_conv,
     measure_generated_matmul,
     measure_manual_conv,
     measure_manual_matmul,
+    run_conv_model,
+    run_matmul_model,
 )
 from .figures import (
     format_table,
@@ -29,9 +33,11 @@ from .figures import (
 __all__ = [
     "kernel_cache_stats",
     "stage_timings",
+    "conv_model_counters", "matmul_model_counters",
     "measure_cpu_matmul", "measure_generated_conv",
     "measure_generated_matmul", "measure_manual_conv",
     "measure_manual_matmul",
+    "run_conv_model", "run_matmul_model",
     "format_table", "table1_rows",
     "fig10_rows", "fig11_rows", "fig12_rows", "fig13_rows",
     "fig14_rows", "fig16_rows", "fig17_rows",

@@ -1,9 +1,14 @@
 """Single-measurement helpers shared by all figure harnesses.
 
-Every helper builds a fresh board, runs one configuration, checks the
-numerics against numpy, and returns the perf counter delta.  Results are
-memoized per parameter tuple — several figures share configurations, and
-the simulations are deterministic.
+Every ``measure_*`` helper builds a fresh board, runs one configuration,
+checks the numerics against numpy, and returns the perf counter delta.
+Results are memoized per parameter tuple — several figures share
+configurations, and the simulations are deterministic.
+
+The model figures (fig16/fig17) instead run whole kernel *sequences*
+through the ``run_*_model`` runners below: one shared board per model
+(cache warm-state carries between layers), fused ModelPlan replay, and
+independent models dispatched onto the replay worker pool.
 
 Compilation goes through the process-wide kernel cache
 (:func:`repro.compiler.default_kernel_cache`): figures that sweep the
@@ -46,7 +51,13 @@ def kernel_cache_stats() -> dict:
 
 
 def stage_timings() -> dict:
-    """Cumulative compile / trace-record / replay seconds this process."""
+    """Cumulative compile / trace-record / replay seconds this process.
+
+    Includes per-stage deltas merged back from replay pool workers
+    (:func:`repro.execution.run_model_jobs`), so multiprocess figure
+    harnesses report the work done, not just the fraction done in the
+    parent process.
+    """
     from ..execution import STAGE_TIMINGS
 
     return dict(STAGE_TIMINGS)
@@ -169,3 +180,133 @@ def measure_cpu_conv(layer) -> PerfCounters:
     image, weights = _conv_data(layer)
     _, counters = cpu_conv(board, image, weights, layer.stride)
     return counters
+
+
+# ---------------------------------------------------------------------------
+# Model-granularity runs (fig16 / fig17)
+# ---------------------------------------------------------------------------
+#
+# The model figures measure kernel *sequences*, not isolated kernels:
+# every step of one model runs on a single shared board inside a
+# ModelSession, so the cache warm-state carries between layers (the
+# OfflineLruSimulator starts each step from the previous step's live
+# LRU contents) and generated steps are served from the fused ModelPlan
+# when one matches.  The runners are module-level so run_model_jobs can
+# fork them into pool workers.
+
+def _model_tag(payload) -> str:
+    import hashlib
+
+    return hashlib.sha256(repr(payload).encode()).hexdigest()[:12]
+
+
+@lru_cache(maxsize=None)
+def _conv_golden(layer) -> np.ndarray:
+    """Memoized numpy reference output for one conv layer.
+
+    Module-level (not per-model) so the parent process can warm it for
+    every layer before forking: pool workers inherit the cache and the
+    golden cost drops off the parallel legs' critical path.
+    """
+    image, weights = _conv_data(layer)
+    expected, _ = cpu_conv(make_pynq_z2(), image, weights, layer.stride)
+    return expected
+
+
+def run_conv_model(layers: Tuple, impl: str) -> Tuple[PerfCounters, ...]:
+    """One conv-layer sequence (fig16) on a single shared warm board.
+
+    ``impl`` selects the hand-written driver (``"manual"``) or the
+    compiled one (``"generated"``); both run every layer back-to-back
+    on the same board so the comparison sees the same warm caches.
+    Returns the per-layer perf-counter deltas, in order.
+    """
+    from ..execution import ModelSession
+
+    board = make_pynq_z2()
+    session = ModelSession(f"conv-{impl}-{_model_tag(layers)}", board)
+    results = []
+    for layer in layers:
+        image, weights = _conv_data(layer)
+        expected = _conv_golden(layer)
+        out = np.zeros(layer.output_shape(), np.int32)
+        if impl == "manual":
+            board.attach_accelerator(
+                ConvAccelerator(max_ic=layer.in_ch, max_fhw=layer.f_hw,
+                                max_slice=layer.out_hw ** 2)
+            )
+            counters = manual_conv_driver(
+                board, image, weights, out, layer.stride,
+                plan_source=session.plan_source(("conv", layer)),
+            )
+        else:
+            hw, info = make_conv_system(layer.in_ch, layer.f_hw,
+                                        max_slice=layer.out_hw ** 2)
+            board.attach_accelerator(hw)
+            compiler = AXI4MLIRCompiler(info, specialized_copies=True)
+            kernel = compiler.compile_conv(
+                layer.batch, layer.in_ch, layer.in_hw,
+                layer.out_ch, layer.f_hw, layer.stride,
+            )
+            counters = session.run(kernel, image, weights, out,
+                                   step_key=("conv", layer))
+        if not np.array_equal(out, expected):
+            raise AssertionError(f"{impl} conv wrong for {layer.label}")
+        results.append(counters)
+    session.finish()
+    return tuple(results)
+
+
+def run_matmul_model(specs: Tuple) -> Tuple[PerfCounters, ...]:
+    """One matmul sequence (fig17 strategy) on a single shared board.
+
+    ``specs`` is an ordered tuple of ``(m, n, k, size, version, flow,
+    accel_size)`` kernel configurations; each runs as one ModelSession
+    step so consecutive matmuls see realistically warm caches.
+    """
+    from ..execution import ModelSession
+
+    board = make_pynq_z2()
+    session = ModelSession(f"matmul-{_model_tag(specs)}", board)
+    results = []
+    for spec in specs:
+        dims_m, dims_n, dims_k, size, version, flow, accel_size = spec
+        hw, info = make_matmul_system(version, size, flow=flow,
+                                      accel_size=accel_size)
+        board.attach_accelerator(hw)
+        compiler = AXI4MLIRCompiler(info)
+        kernel = compiler.compile_matmul(dims_m, dims_n, dims_k)
+        a, b = _data(dims_m, dims_n, dims_k)
+        c = np.zeros((dims_m, dims_n), np.int32)
+        counters = session.run(kernel, a, b, c, step_key=("matmul",) + spec)
+        if not np.array_equal(c, _expected_matmul(a, b)):
+            raise AssertionError(f"model matmul wrong for {spec}")
+        results.append(counters)
+    session.finish()
+    return tuple(results)
+
+
+@lru_cache(maxsize=None)
+def conv_model_counters(layers: Tuple) -> Tuple[Tuple[PerfCounters, ...],
+                                                Tuple[PerfCounters, ...]]:
+    """(manual, generated) per-layer counters, the two legs pooled."""
+    from ..execution import run_model_jobs
+
+    for layer in layers:
+        _conv_golden(layer)
+    manual, generated = run_model_jobs([
+        (run_conv_model, (layers, "manual")),
+        (run_conv_model, (layers, "generated")),
+    ])
+    return manual, generated
+
+
+@lru_cache(maxsize=None)
+def matmul_model_counters(*spec_groups: Tuple
+                          ) -> Tuple[Tuple[PerfCounters, ...], ...]:
+    """Per-spec counters for several matmul models, pooled."""
+    from ..execution import run_model_jobs
+
+    return tuple(run_model_jobs(
+        [(run_matmul_model, (specs,)) for specs in spec_groups]
+    ))

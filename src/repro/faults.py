@@ -6,9 +6,11 @@ native C -> pure Python, trace replay -> per-tile execution, disk
 store -> memory-only).  This module lets tests and CI *prove* those
 rungs: a seeded registry decides, per call site, whether an injected
 fault fires, and the hook points in ``store.py``, ``soc/_native.py``,
-``execution/metrics.py``, ``execution/replay.py`` and
-``execution/synthesize.py`` translate a firing into the exact failure
-the fallback is designed to absorb.
+``execution/metrics.py``, ``execution/model_plan.py``,
+``execution/replay.py`` and ``execution/synthesize.py`` translate a
+firing into the exact failure the fallback is designed to absorb
+(``model.plan:fail`` degrades fused model-plan steps to the per-kernel
+metrics-plan path).
 
 Grammar (``REPRO_FAULTS``)::
 
@@ -46,6 +48,7 @@ SITES = {
     "store.lock": ("timeout",),
     "native.compile": ("fail",),
     "metrics.plan": ("fail",),
+    "model.plan": ("fail",),
     "replay": ("fail",),
     "synth": ("fail",),
 }
@@ -178,6 +181,13 @@ def fault_counters() -> Dict[str, int]:
     """Snapshot of fired-fault counts per site."""
     with _lock:
         return dict(FAULT_COUNTERS)
+
+
+def merge_fault_counters(delta: Dict[str, int]) -> None:
+    """Fold a pool worker's fired-fault deltas into this process."""
+    with _lock:
+        for site, count in delta.items():
+            FAULT_COUNTERS[site] = FAULT_COUNTERS.get(site, 0) + count
 
 
 def reset_faults() -> None:

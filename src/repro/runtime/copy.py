@@ -79,6 +79,24 @@ def _row_linear_offsets(outer_sizes: Tuple[int, ...],
     return offsets
 
 
+def _concat_ranges(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """``concatenate([arange(s, s + c) for s, c in zip(starts, counts)])``
+    without the Python loop: ones everywhere, block-start corrections at
+    the boundaries, one cumulative sum.
+    """
+    keep = counts > 0
+    if not keep.all():
+        starts, counts = starts[keep], counts[keep]
+    total = int(counts.sum())
+    if not total:
+        return np.empty(0, dtype=np.int64)
+    out = np.ones(total, dtype=np.int64)
+    ends = counts.cumsum()
+    out[0] = starts[0]
+    out[ends[:-1]] = starts[1:] - starts[:-1] - counts[:-1] + 1
+    return out.cumsum()
+
+
 class _CopyPlan:
     """Precomputed per-geometry deltas for one copy's cache footprint.
 
@@ -97,41 +115,57 @@ class _CopyPlan:
 
     def __init__(self, rel_bytes, src_align: int, dst_align: int,
                  span_src: int, row_bytes: int, line: int):
-        src_rel: list = []
-        dst_rel: list = []
-        order: list = []
-        half_lines = 0.0
-        dst_lines = 0
-        for i, rb in enumerate(rel_bytes):
-            src_first = (src_align + rb) // line
-            src_last = (src_align + rb + span_src - 1) // line
-            dst_off = dst_align + row_bytes * i
-            dst_first = dst_off // line
-            dst_last = (dst_off + row_bytes - 1) // line
-            # The charged counts use the reference's raw expressions
-            # (no empty-range guard), matching bit-for-bit.
-            half_lines += ((src_last - src_first + 1)
-                           + (dst_last - dst_first + 1)) / 2.0
-            dst_lines += dst_last - dst_first + 1
-            if span_src > 0:
-                order.append((0, len(src_rel), src_last - src_first + 1))
-                src_rel.extend(range(src_first, src_last + 1))
-            if row_bytes > 0:
-                order.append((1, len(dst_rel), dst_last - dst_first + 1))
-                dst_rel.extend(range(dst_first, dst_last + 1))
-        num_src = len(src_rel)
-        perm = []
-        for side, start, count in order:
-            base = start if side == 0 else num_src + start
-            perm.extend(range(base, base + count))
-        self.src_rel = np.asarray(src_rel, dtype=np.int64)
-        self.dst_rel = np.asarray(dst_rel, dtype=np.int64)
-        self.perm = np.asarray(perm, dtype=np.intp)
-        self.num_rows = len(rel_bytes)
+        rb = np.asarray(rel_bytes, dtype=np.int64)
+        num_rows = int(rb.size)
+        src_first = (src_align + rb) // line
+        src_last = (src_align + rb + span_src - 1) // line
+        dst_off = dst_align + row_bytes * np.arange(num_rows,
+                                                    dtype=np.int64)
+        dst_first = dst_off // line
+        dst_last = (dst_off + row_bytes - 1) // line
+        src_counts = src_last - src_first + 1
+        dst_counts = dst_last - dst_first + 1
+        # The charged counts use the reference's raw expressions (no
+        # empty-range guard), matching bit-for-bit: every per-row term
+        # is a multiple of 0.5 far below 2**52, so the vectorized sum
+        # is exact and therefore identical to the scalar accumulation.
+        half_lines = float(int((src_counts + dst_counts).sum())) / 2.0
+        dst_lines = int(dst_counts.sum())
+        use_src, use_dst = span_src > 0, row_bytes > 0
+        empty = np.empty(0, dtype=np.int64)
+        src_rel = _concat_ranges(src_first, src_counts) if use_src \
+            else empty
+        dst_rel = _concat_ranges(dst_first, dst_counts) if use_dst \
+            else empty
+        num_src = int(src_rel.size)
+        # perm interleaves per-row blocks — src block then dst block —
+        # over the [src_rel | dst_rel] concatenation.
+        if use_src:
+            src_starts = np.concatenate(
+                ([0], src_counts.cumsum()[:-1])) if num_rows else empty
+        if use_dst:
+            dst_starts = num_src + (np.concatenate(
+                ([0], dst_counts.cumsum()[:-1])) if num_rows else empty)
+        if use_src and use_dst:
+            starts = np.empty(2 * num_rows, dtype=np.int64)
+            counts = np.empty(2 * num_rows, dtype=np.int64)
+            starts[0::2], counts[0::2] = src_starts, src_counts
+            starts[1::2], counts[1::2] = dst_starts, dst_counts
+        elif use_src:
+            starts, counts = src_starts, src_counts
+        elif use_dst:
+            starts, counts = dst_starts, dst_counts
+        else:
+            starts = counts = empty
+        perm = _concat_ranges(starts, counts)
+        self.src_rel = src_rel
+        self.dst_rel = dst_rel
+        self.perm = perm.astype(np.intp, copy=False)
+        self.num_rows = num_rows
         self.num_src = num_src
         self.half_lines = half_lines
         self.dst_lines = dst_lines
-        self.num_lines = len(perm)
+        self.num_lines = int(perm.size)
         self._buf = np.empty(num_src + len(dst_rel), dtype=np.int64)
         self._seqs: dict = {}
         # Bound the memo by total stored lines (~2 MB of ints per plan).
@@ -177,7 +211,7 @@ def plan_for_geometry(sizes: Tuple[int, ...], strides: Tuple[int, ...],
         rel_bytes = (_row_linear_offsets(sizes[:-1], strides[:-1])
                      * itemsize if sizes else
                      np.zeros(1, dtype=np.int64))
-        plan = _CopyPlan(rel_bytes.tolist(), src_align, dst_align,
+        plan = _CopyPlan(rel_bytes, src_align, dst_align,
                          span_src, row_bytes, line)
         _COPY_PLANS[key] = plan
     return plan

@@ -36,6 +36,7 @@ two paths on small tiles.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
@@ -65,12 +66,35 @@ class Cache:
         self.set_mask = self.num_sets - 1 \
             if self.num_sets & (self.num_sets - 1) == 0 else None
         # Per set: resident line addresses in LRU order (dict insertion
-        # order; front = least recent).
-        self._sets: List[Dict[int, None]] = [
+        # order; front = least recent).  Stored behind the ``_sets``
+        # property: replay installs end-states as way *arrays* (see
+        # :func:`install_ways`), and the dict expansion is deferred
+        # until someone actually needs the dict form.
+        self._ways_mirror: Optional[np.ndarray] = None
+        self._sets_store: List[Dict[int, None]] = [
             {} for _ in range(self.num_sets)
         ]
         self.hits = 0
         self.misses = 0
+
+    @property
+    def _sets(self) -> List[Dict[int, None]]:
+        """The per-set LRU dicts, materializing any pending way array.
+
+        Accessing this invalidates the array mirror — callers are free
+        to mutate the dicts — so array-to-array replay sequences (apply
+        a plan, export for the next build) never pay the expansion.
+        """
+        mirror = self._ways_mirror
+        if mirror is not None:
+            self._ways_mirror = None
+            _expand_ways(self, mirror)
+        return self._sets_store
+
+    @_sets.setter
+    def _sets(self, value: List[Dict[int, None]]) -> None:
+        self._ways_mirror = None
+        self._sets_store = value
 
     def reset(self) -> None:
         self._sets = [{} for _ in range(self.num_sets)]
@@ -553,7 +577,7 @@ class OfflineLruSimulator:
         """Install the final LRU contents and totals into the caches."""
         for cache in (self.hierarchy.l1, self.hierarchy.l2):
             if self._lib is not None:
-                _import_ways(cache, self._ways[cache.name])
+                install_ways(cache, self._ways[cache.name])
             else:
                 for index, resident in self._state[cache.name].items():
                     cache._sets[index] = dict.fromkeys(resident)
@@ -563,10 +587,18 @@ class OfflineLruSimulator:
 
 
 def _export_ways(cache: Cache) -> np.ndarray:
-    """Way slots (MRU first, -1 empty) for the native state machine."""
+    """Way slots (MRU first, -1 empty) for the native state machine.
+
+    Callers own (and may mutate) the returned array.  When the cache
+    still holds an uninstalled mirror from :func:`install_ways` this is
+    a plain array copy — no dict traversal.
+    """
+    mirror = cache._ways_mirror
+    if mirror is not None:
+        return mirror.copy()
     ways = np.full(cache.num_sets * cache.associativity, -1, dtype=np.int64)
     assoc = cache.associativity
-    for index, resident in enumerate(cache._sets):
+    for index, resident in enumerate(cache._sets_store):
         if resident:
             stack = list(resident)  # dict order: LRU -> MRU
             stack.reverse()
@@ -574,14 +606,54 @@ def _export_ways(cache: Cache) -> np.ndarray:
     return ways
 
 
-def _import_ways(cache: Cache, ways: np.ndarray) -> None:
+def warm_state_digest(hierarchy: "CacheHierarchy") -> str:
+    """Hex digest of the exact LRU contents of both cache levels.
+
+    Order-sensitive (MRU-first way stacks), so two boards agree iff
+    their warm states are bit-identical — the pin the model-granularity
+    replay tests use to prove the inter-kernel warm-state carry matches
+    the sequential per-kernel path exactly.
+    """
+    digest = hashlib.sha256()
+    for cache in (hierarchy.l1, hierarchy.l2):
+        digest.update(np.int64(cache.hits).tobytes())
+        digest.update(np.int64(cache.misses).tobytes())
+        digest.update(_export_ways(cache).tobytes())
+    return digest.hexdigest()
+
+
+def install_ways(cache: Cache, ways: np.ndarray) -> None:
+    """Adopt ``ways`` (MRU-first slots, -1 empty) as the LRU state.
+
+    O(copy): the array is kept as a private mirror and only expanded
+    into the per-set dicts when ``Cache._sets`` is next read — which a
+    replay-to-replay step sequence never does, so model sessions hand
+    cache end-states from one step's plan to the next build as arrays.
+    """
+    cache._ways_mirror = np.array(ways, dtype=np.int64)
+
+
+def _expand_ways(cache: Cache, ways: np.ndarray) -> None:
+    """Eagerly expand a way array into the per-set dicts.
+
+    Occupied slots always form a prefix of each row (the exporters fill
+    from slot 0 and the LRU state machines shift-insert at the MRU end),
+    so per-row occupancy counts replace per-slot filtering.
+    """
     assoc = cache.associativity
-    slots = ways.reshape(cache.num_sets, assoc).tolist()
-    sets = cache._sets
-    for index, row in enumerate(slots):
-        resident = [line for line in row if line >= 0]
-        resident.reverse()  # back to LRU -> MRU insertion order
-        sets[index] = dict.fromkeys(resident)
+    grid = ways.reshape(cache.num_sets, assoc)
+    occupancy = (grid >= 0).sum(axis=1).tolist()
+    rows = grid.tolist()
+    sets = cache._sets_store
+    for i, occ in enumerate(occupancy):
+        if occ == assoc:
+            row = rows[i]
+            row.reverse()  # back to LRU -> MRU insertion order
+            sets[i] = dict.fromkeys(row)
+        elif occ:
+            sets[i] = dict.fromkeys(rows[i][occ - 1::-1])
+        else:
+            sets[i] = {}
 
 
 def hierarchy_from_cpu_info(cpu_info, timing: TimingModel) -> CacheHierarchy:

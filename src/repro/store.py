@@ -59,6 +59,7 @@ import json
 import os
 import threading
 import time
+import warnings
 from collections import OrderedDict
 from contextlib import contextmanager
 from pathlib import Path
@@ -87,6 +88,22 @@ MAX_BYTES_ENV = "REPRO_KERNEL_CACHE_MAX_BYTES"
 LOCK_TIMEOUT_ENV = "REPRO_KERNEL_CACHE_LOCK_TIMEOUT_S"
 
 _DEFAULT_LOCK_TIMEOUT_S = 10.0
+
+#: (env var, malformed text) pairs already warned about: a bad value is
+#: reported exactly once instead of once per store operation — and
+#: never silently ignored.
+_warned_env_values: set = set()
+
+
+def _warn_malformed_env(var: str, text: str, fallback) -> None:
+    key = (var, text)
+    if key in _warned_env_values:
+        return
+    _warned_env_values.add(key)
+    warnings.warn(
+        f"ignoring malformed {var}={text!r}; falling back to "
+        f"{fallback!r}", RuntimeWarning, stacklevel=4,
+    )
 
 #: Temp files older than this are considered crash litter by gc().
 _TMP_MAX_AGE_S = 300.0
@@ -148,6 +165,7 @@ def _class_registry() -> Dict[str, Tuple[type, Optional[Tuple[str, ...]]]]:
     execution/transform modules import numpy-heavy machinery).
     """
     from .execution.metrics import MetricsPlan
+    from .execution.model_plan import ModelPlan
     from .execution.trace import DecodedPlan, DriverTrace, _TileClass
     from .transforms.flow_analysis import (
         FlowPlacement,
@@ -179,6 +197,9 @@ def _class_registry() -> Dict[str, Tuple[type, Optional[Tuple[str, ...]]]]:
             "input_word_dest", "input_word_values", "input_tile_writes",
             "output_writes",
         )),
+        # Fused model plans: steps is a list of (config-repr, MetricsPlan)
+        # tuples, both already covered by the codec.
+        "ModelPlan": (ModelPlan, ("name", "fingerprint", "steps")),
     }
 
 
@@ -467,6 +488,7 @@ class KernelStore:
         try:
             return int(text) if text else None
         except ValueError:
+            _warn_malformed_env(MAX_BYTES_ENV, text, None)
             return None
 
     def _resolve_lock_timeout(self) -> float:
@@ -476,6 +498,8 @@ class KernelStore:
         try:
             return float(text) if text else _DEFAULT_LOCK_TIMEOUT_S
         except ValueError:
+            _warn_malformed_env(LOCK_TIMEOUT_ENV, text,
+                                _DEFAULT_LOCK_TIMEOUT_S)
             return _DEFAULT_LOCK_TIMEOUT_S
 
     # -- load -------------------------------------------------------------

@@ -36,7 +36,14 @@ class TestKernelCache:
                                     "manual_recorded", "manual_fallback",
                                     "metrics_plan_hits",
                                     "metrics_plan_misses",
-                                    "metrics_plan_fallback"}
+                                    "metrics_plan_fallback",
+                                    "model_plan_hits",
+                                    "model_plan_misses",
+                                    "model_plan_step_hits",
+                                    "model_plan_fallback",
+                                    "model_plan_divergence",
+                                    "model_plan_stale",
+                                    "model_plan_workers"}
         assert kernel_a.entry_point is kernel_b.entry_point
         assert kernel_a.source == kernel_b.source
 

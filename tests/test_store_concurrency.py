@@ -14,6 +14,7 @@ import subprocess
 import sys
 import threading
 import time
+import warnings
 from collections import OrderedDict
 from pathlib import Path
 
@@ -395,3 +396,34 @@ class TestThreadSafety:
         litter = [p for p in Path(store_dir).rglob("*")
                   if ".tmp-" in p.name]
         assert litter == []
+
+
+class TestEnvKnobWarnings:
+    """Malformed store env knobs warn once, then fall back to defaults."""
+
+    def test_malformed_max_bytes_warns_once(self, tmp_path, monkeypatch):
+        store = KernelStore(tmp_path)
+        monkeypatch.setenv("REPRO_KERNEL_CACHE_MAX_BYTES", "10MB")
+        with pytest.warns(RuntimeWarning,
+                          match="REPRO_KERNEL_CACHE_MAX_BYTES"):
+            assert store.store("env-warn-max", {"x": 1})
+        # The malformed cap disables eviction instead of guessing a
+        # size: the freshly stored entry is still there.
+        assert store.load("env-warn-max")[0] == "hit"
+        # One-shot: the same malformed value never warns again.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert store.store("env-warn-max-two", {"x": 2})
+
+    def test_malformed_lock_timeout_warns_once(self, tmp_path,
+                                               monkeypatch):
+        store = KernelStore(tmp_path)
+        monkeypatch.setenv("REPRO_KERNEL_CACHE_LOCK_TIMEOUT_S", "soonish")
+        with pytest.warns(RuntimeWarning,
+                          match="REPRO_KERNEL_CACHE_LOCK_TIMEOUT_S"):
+            with store.build_lock("env-warn-lock") as acquired:
+                assert acquired
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            with store.build_lock("env-warn-lock") as acquired:
+                assert acquired

@@ -253,12 +253,14 @@ class TestTraceSources:
     def test_diagnostics_shape(self):
         report = diagnostics()
         assert set(report) == {"stage_timings", "trace_sources",
-                               "metrics_plan", "store", "faults",
-                               "native"}
+                               "metrics_plan", "model_plan", "store",
+                               "faults", "native"}
         assert "trace_synth_s" in report["stage_timings"]
         assert "manual_record_s" in report["stage_timings"]
         assert "metrics_plan_build_s" in report["stage_timings"]
         assert "metrics_plan_apply_s" in report["stage_timings"]
+        assert "model_plan_build_s" in report["stage_timings"]
+        assert "model_plan_apply_s" in report["stage_timings"]
         assert set(report["trace_sources"]) == {
             "synthesized", "recorded", "synth_fallback", "disk_loaded",
             "manual_recorded", "manual_fallback",
@@ -266,6 +268,12 @@ class TestTraceSources:
         assert set(report["metrics_plan"]) == {
             "metrics_plan_hits", "metrics_plan_misses",
             "metrics_plan_fallback",
+        }
+        assert set(report["model_plan"]) == {
+            "model_plan_hits", "model_plan_misses",
+            "model_plan_step_hits", "model_plan_fallback",
+            "model_plan_divergence", "model_plan_stale",
+            "model_plan_workers",
         }
 
 

@@ -14,8 +14,10 @@ from __future__ import annotations
 
 import hashlib
 import os
+import threading
 import time
 from collections import OrderedDict
+from contextlib import contextmanager
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 from threading import Lock
@@ -73,6 +75,38 @@ KERNEL_CACHE_DIR_ENV = "REPRO_KERNEL_CACHE_DIR"
 #: Version 3: pickle entries replaced by the checksummed JSON+npz
 #: container of :mod:`repro.store`.
 KERNEL_STORE_VERSION = 3
+
+
+# -- disk-store suspension (circuit-breaker seam) ---------------------------
+#
+# The service layer's store circuit breaker needs a way to run one
+# request on the no-store degradation path (PR 6's rung: memory-only
+# compilation, bit-identical results) without mutating process-global
+# environment from a worker thread.  The flag is thread-local so
+# concurrent requests in one process degrade independently.
+
+_disk_suspension = threading.local()
+
+
+def disk_store_suspended() -> bool:
+    """True while the calling thread is inside :func:`suspend_disk_store`."""
+    return getattr(_disk_suspension, "count", 0) > 0
+
+
+@contextmanager
+def suspend_disk_store():
+    """Temporarily disable the on-disk kernel store for this thread.
+
+    Inside the context every :class:`KernelCache` behaves as if
+    ``REPRO_KERNEL_CACHE_DIR`` were unset: compiles stay memory-only
+    and no disk I/O is attempted.  Nestable; never affects other
+    threads.
+    """
+    _disk_suspension.count = getattr(_disk_suspension, "count", 0) + 1
+    try:
+        yield
+    finally:
+        _disk_suspension.count -= 1
 
 
 _SOURCE_TREE_DIGEST: Optional[str] = None
@@ -263,6 +297,8 @@ class KernelCache:
 
     # -- disk store -------------------------------------------------------
     def _resolve_disk_dir(self) -> Optional[Path]:
+        if disk_store_suspended():
+            return None
         directory = self.disk_dir or os.environ.get(KERNEL_CACHE_DIR_ENV)
         return Path(directory) if directory else None
 

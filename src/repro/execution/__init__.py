@@ -69,11 +69,15 @@ def diagnostics() -> dict:
     corrupted cache directory is visible as such rather than as a cold
     cache.  ``faults`` counts injected faults per ``REPRO_FAULTS``
     site, and ``native`` reports why the C fast path is (un)available.
+    ``service`` counts compile/simulate-service events in this process
+    (admissions, sheds, coalesced submits, worker crashes, drain-time
+    worker merges) — nonzero only in a server process.
     """
     # Lazy imports: repro.store and repro.soc._native both import
     # execution machinery, so pulling them in at module scope would be
     # circular.
     from ..faults import fault_counters
+    from ..service.server import service_counters
     from ..soc._native import native_status
     from ..store import STORE_COUNTERS
 
@@ -85,6 +89,7 @@ def diagnostics() -> dict:
         "store": dict(STORE_COUNTERS),
         "faults": fault_counters(),
         "native": native_status(),
+        "service": service_counters(),
     }
 
 

@@ -58,7 +58,6 @@ import os
 import pickle
 import threading
 import time
-import warnings
 from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import astuple
@@ -68,6 +67,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from .. import faults
+from ..envutil import env_int
 from . import metrics
 from .trace import TRACE_COUNTERS, add_stage_time, merge_stage_timings
 
@@ -110,8 +110,16 @@ _REGISTRY_LOCK = threading.Lock()
 _STORES: Dict[Path, object] = {}
 _STORE_LOCK = threading.Lock()
 
-_warned_workers: set = set()
 
+def _fresh_locks_after_fork() -> None:
+    # Forked children (service workers, model-pool workers) must not
+    # inherit registry/store locks another parent thread held.
+    global _REGISTRY_LOCK, _STORE_LOCK
+    _REGISTRY_LOCK = threading.Lock()
+    _STORE_LOCK = threading.Lock()
+
+
+os.register_at_fork(after_in_child=_fresh_locks_after_fork)
 
 def model_plan_enabled() -> bool:
     """Fused model plans are on unless killed (theirs or the metrics one)."""
@@ -233,11 +241,11 @@ def _step_config(step_key, ex, decode_key: Tuple) -> str:
 
 def _resolve_store():
     """The shared KernelStore (same REPRO_KERNEL_CACHE_DIR as kernels)."""
-    from ..compiler import KERNEL_CACHE_DIR_ENV
+    from ..compiler import KERNEL_CACHE_DIR_ENV, disk_store_suspended
     from ..store import KernelStore
 
     directory = os.environ.get(KERNEL_CACHE_DIR_ENV)
-    if not directory:
+    if not directory or disk_store_suspended():
         return None
     path = Path(directory)
     with _STORE_LOCK:
@@ -461,19 +469,8 @@ class ModelSession:
 
 def model_workers() -> int:
     """Requested pool size: REPRO_MODEL_WORKERS, else min(4, cpus)."""
-    text = os.environ.get(MODEL_WORKERS_ENV, "").strip()
-    if text:
-        try:
-            return max(1, int(text))
-        except ValueError:
-            if text not in _warned_workers:
-                _warned_workers.add(text)
-                warnings.warn(
-                    f"ignoring malformed {MODEL_WORKERS_ENV}={text!r}; "
-                    "falling back to the automatic pool size",
-                    RuntimeWarning, stacklevel=2,
-                )
-    return max(1, min(4, os.cpu_count() or 1))
+    default = max(1, min(4, os.cpu_count() or 1))
+    return env_int(MODEL_WORKERS_ENV, default, minimum=1)
 
 
 def snapshot_diagnostics() -> dict:
@@ -510,8 +507,13 @@ def _diagnostics_delta(end: dict, base: dict) -> dict:
     }
 
 
-def merge_worker_diagnostics(delta: dict) -> None:
-    """Fold one worker's diagnostics delta into this process's totals."""
+def merge_worker_diagnostics(delta: dict, count_worker: bool = True) -> None:
+    """Fold one worker's diagnostics delta into this process's totals.
+
+    ``count_worker=False`` merges without advancing the
+    ``model_plan_workers`` tally — the service layer reports one delta
+    per *request* and counts each worker process exactly once itself.
+    """
     from ..compiler import default_kernel_cache
     from ..store import STORE_COUNTERS
 
@@ -529,7 +531,8 @@ def merge_worker_diagnostics(delta: dict) -> None:
             STORE_COUNTERS[key] = STORE_COUNTERS.get(key, 0) + value
     faults.merge_fault_counters(delta.get("faults", {}))
     default_kernel_cache().merge_stats(delta.get("kernel_cache", {}))
-    MODEL_PLAN_COUNTERS["model_plan_workers"] += 1
+    if count_worker:
+        MODEL_PLAN_COUNTERS["model_plan_workers"] += 1
 
 
 def _init_worker() -> None:

@@ -81,6 +81,16 @@ STAGE_TIMINGS: Dict[str, float] = {
 _TIMINGS_LOCK = threading.Lock()
 
 
+def _fresh_timings_lock_after_fork() -> None:
+    # Forked children (service workers, model-pool workers) must not
+    # inherit a lock another parent thread held mid-accumulate.
+    global _TIMINGS_LOCK
+    _TIMINGS_LOCK = threading.Lock()
+
+
+os.register_at_fork(after_in_child=_fresh_timings_lock_after_fork)
+
+
 def add_stage_time(stage: str, seconds: float) -> None:
     """Thread-safely accumulate wall-clock into one pipeline stage."""
     with _TIMINGS_LOCK:

@@ -89,6 +89,43 @@ def measure_cpu_matmul(dims: int) -> PerfCounters:
     return counters
 
 
+def compile_matmul_kernel(
+    dims_m: int, dims_n: int, dims_k: int, size: int, version: int,
+    flow: str, specialized: bool = True, cpu_tiling: bool = True,
+    accel_size: Optional[Tuple[int, int, int]] = None,
+    permutation: Optional[Tuple[str, ...]] = None,
+):
+    """(hardware, compiled kernel) for one generated-matmul config.
+
+    The single compile path shared by the figure harnesses and the
+    compile/simulate service worker (``repro.service.worker``), so a
+    request served remotely lowers through exactly the code a local
+    measurement would.
+    """
+    hw, info = make_matmul_system(version, size, flow=flow,
+                                  accel_size=accel_size)
+    compiler = AXI4MLIRCompiler(info, permutation=permutation,
+                                enable_cpu_tiling=cpu_tiling,
+                                specialized_copies=specialized)
+    return hw, compiler.compile_matmul(dims_m, dims_n, dims_k)
+
+
+def compile_conv_kernel(
+    batch: int, in_ch: int, in_hw: int, out_ch: int, f_hw: int,
+    stride: int = 1, specialized: bool = True,
+    max_slice: Optional[int] = None,
+):
+    """(hardware, compiled kernel) for one generated-conv config."""
+    out_hw = (in_hw - f_hw) // stride + 1
+    hw, info = make_conv_system(
+        in_ch, f_hw,
+        max_slice=max_slice if max_slice is not None else out_hw ** 2,
+    )
+    compiler = AXI4MLIRCompiler(info, specialized_copies=specialized)
+    return hw, compiler.compile_conv(batch, in_ch, in_hw, out_ch, f_hw,
+                                     stride)
+
+
 @lru_cache(maxsize=None)
 def measure_generated_matmul(
     dims_m: int, dims_n: int, dims_k: int, size: int, version: int,
@@ -97,13 +134,13 @@ def measure_generated_matmul(
     trace: bool = True,
 ) -> PerfCounters:
     """``mlir_AXI4MLIR``: compile and run the generated driver."""
-    hw, info = make_matmul_system(version, size, flow=flow,
-                                  accel_size=accel_size)
+    hw, kernel = compile_matmul_kernel(
+        dims_m, dims_n, dims_k, size, version, flow,
+        specialized=specialized, cpu_tiling=cpu_tiling,
+        accel_size=accel_size,
+    )
     board = make_pynq_z2()
     board.attach_accelerator(hw)
-    compiler = AXI4MLIRCompiler(info, enable_cpu_tiling=cpu_tiling,
-                                specialized_copies=specialized)
-    kernel = compiler.compile_matmul(dims_m, dims_n, dims_k)
     a, b = _data(dims_m, dims_n, dims_k)
     c = np.zeros((dims_m, dims_n), np.int32)
     counters = kernel.run(board, a, b, c, trace=trace)
@@ -142,13 +179,13 @@ def _conv_data(layer, seed: int = 11):
 @lru_cache(maxsize=None)
 def measure_generated_conv(layer, specialized: bool = True,
                            trace: bool = True) -> PerfCounters:
-    hw, info = make_conv_system(layer.in_ch, layer.f_hw,
-                                max_slice=layer.out_hw ** 2)
+    hw, kernel = compile_conv_kernel(
+        layer.batch, layer.in_ch, layer.in_hw, layer.out_ch, layer.f_hw,
+        layer.stride, specialized=specialized,
+        max_slice=layer.out_hw ** 2,
+    )
     board = make_pynq_z2()
     board.attach_accelerator(hw)
-    compiler = AXI4MLIRCompiler(info, specialized_copies=specialized)
-    kernel = compiler.compile_conv(layer.batch, layer.in_ch, layer.in_hw,
-                                   layer.out_ch, layer.f_hw, layer.stride)
     image, weights = _conv_data(layer)
     expected, _ = cpu_conv(make_pynq_z2(), image, weights, layer.stride)
     out = np.zeros(layer.output_shape(), np.int32)

@@ -3,28 +3,34 @@
 Every layer of the execution pipeline has a graceful-degradation
 fallback (metrics plan -> live metrics plane, synthesis -> recording,
 native C -> pure Python, trace replay -> per-tile execution, disk
-store -> memory-only).  This module lets tests and CI *prove* those
-rungs: a seeded registry decides, per call site, whether an injected
-fault fires, and the hook points in ``store.py``, ``soc/_native.py``,
-``execution/metrics.py``, ``execution/model_plan.py``,
-``execution/replay.py`` and ``execution/synthesize.py`` translate a
+store -> memory-only, service worker -> restart + requeue).  This
+module lets tests and CI *prove* those rungs: a seeded registry
+decides, per call site, whether an injected fault fires, and the hook
+points in ``store.py``, ``soc/_native.py``, ``execution/metrics.py``,
+``execution/model_plan.py``, ``execution/replay.py``,
+``execution/synthesize.py`` and the ``service`` package translate a
 firing into the exact failure the fallback is designed to absorb
 (``model.plan:fail`` degrades fused model-plan steps to the per-kernel
-metrics-plan path).
+metrics-plan path; ``service.worker:crash`` kills a pool worker
+mid-request).
 
 Grammar (``REPRO_FAULTS``)::
 
-    REPRO_FAULTS="store.read:io@0.3;native.compile:fail;lock:timeout@0.1"
+    REPRO_FAULTS="store.read:io@0.3;native.compile:fail;store.lock:timeout@0.1"
 
 i.e. ``;``-separated ``site:kind[@probability]`` clauses.  Probability
 defaults to 1.0 (always fire).  ``lock`` is accepted as an alias for
-``store.lock``.  Unknown sites or kinds raise ``FaultConfigError`` at
-parse time so typos fail loudly instead of silently injecting nothing.
+the registered site name ``store.lock``.  Unknown sites or kinds raise
+``FaultConfigError`` at parse time so typos fail loudly instead of
+silently injecting nothing.
 
 Determinism: each site draws from its own ``random.Random`` stream
 seeded by ``(REPRO_FAULTS_SEED, site)``, so the firing schedule of one
 site never depends on how often other sites are consulted, and a fixed
-seed reproduces the exact same schedule across runs and platforms.
+seed reproduces the exact same schedule across runs and platforms.  A
+malformed (non-integer) ``REPRO_FAULTS_SEED`` warns once and falls
+back to the default seed 0 — like every other ``REPRO_*`` knob, it
+degrades instead of erroring.
 """
 
 from __future__ import annotations
@@ -51,6 +57,9 @@ SITES = {
     "model.plan": ("fail",),
     "replay": ("fail",),
     "synth": ("fail",),
+    "service.worker": ("crash",),
+    "service.rpc": ("io",),
+    "service.queue": ("full",),
 }
 
 #: Accepted shorthand for site names.
@@ -127,6 +136,19 @@ _memo_key: Optional[Tuple[str, str]] = None
 _memo_clauses: Dict[str, _FaultClause] = {}
 
 
+def _fresh_lock_after_fork() -> None:
+    # A child forked while another thread held _lock (e.g. a service
+    # worker replacement forked mid-dispatch) would inherit it locked
+    # and deadlock on its first fires() call.  Stream/memo state is
+    # deliberately kept — restarted workers inheriting the parent's
+    # pristine streams is part of the determinism contract.
+    global _lock
+    _lock = threading.Lock()
+
+
+os.register_at_fork(after_in_child=_fresh_lock_after_fork)
+
+
 def _active_clauses() -> Dict[str, _FaultClause]:
     """Clauses for the current env, re-read each call.
 
@@ -142,9 +164,12 @@ def _active_clauses() -> Dict[str, _FaultClause]:
     try:
         seed = int(seed_text)
     except ValueError:
-        raise FaultConfigError(
-            f"{FAULTS_SEED_ENV}={seed_text!r} is not an integer"
-        ) from None
+        # A bad seed degrades (default seed) instead of erroring: the
+        # same one-shot-warning contract as every other REPRO_* knob.
+        from .envutil import warn_once_malformed_env
+
+        warn_once_malformed_env(FAULTS_SEED_ENV, seed_text, 0)
+        seed = 0
     clauses = parse_faults(spec, seed) if spec else {}
     with _lock:
         _memo_key = key

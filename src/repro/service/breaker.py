@@ -1,0 +1,110 @@
+"""Circuit breakers for the service's two fallible infrastructure seams.
+
+The execution pipeline already degrades gracefully *per call* (a store
+I/O error falls back to a redundant compile, a native-compile failure
+to the Python kernels).  A breaker adds the cross-request memory real
+serving systems need: after ``threshold`` consecutive failures of a
+seam the breaker *opens* and subsequent requests run with that seam
+pre-disabled — the known-good degradation rung — instead of paying the
+failure latency every time.  After ``cooldown_s`` the breaker goes
+*half-open* and exactly one probe request re-enables the seam; its
+outcome closes the breaker or re-opens it for another cooldown.
+
+Because every rung is bit-identical by the PR 6 guarantees, a breaker
+can only ever change *latency*, never results — which is what makes it
+safe to trip on probabilistic evidence.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """One seam's breaker; thread-safe, monotonic-clock based."""
+
+    def __init__(self, name: str, threshold: int = 3,
+                 cooldown_s: float = 1.0) -> None:
+        self.name = name
+        self.threshold = max(1, threshold)
+        self.cooldown_s = cooldown_s
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probe_in_flight = False
+        self._trips = 0
+
+    # -- dispatch-side ----------------------------------------------------
+    def allow(self) -> Dict[str, bool]:
+        """Decide one request's use of the seam.
+
+        Returns ``{"enabled": ..., "probe": ...}``: ``enabled`` is
+        whether the request should use the seam (False = run on the
+        degradation rung), ``probe`` marks the single half-open trial
+        request whose outcome will close or re-open the breaker.
+        """
+        with self._lock:
+            if self._state == CLOSED:
+                return {"enabled": True, "probe": False}
+            if self._state == OPEN and \
+                    time.monotonic() - self._opened_at >= self.cooldown_s:
+                self._state = HALF_OPEN
+                self._probe_in_flight = False
+            if self._state == HALF_OPEN and not self._probe_in_flight:
+                self._probe_in_flight = True
+                return {"enabled": True, "probe": True}
+            return {"enabled": False, "probe": False}
+
+    # -- outcome-side -----------------------------------------------------
+    def record(self, ok: bool, probe: bool = False) -> None:
+        """Feed one request's seam outcome back into the state machine.
+
+        Outcomes of requests that ran with the seam disabled must not
+        be reported — they carry no evidence about the seam.
+        """
+        with self._lock:
+            if probe:
+                self._probe_in_flight = False
+                if ok:
+                    self._state = CLOSED
+                    self._consecutive_failures = 0
+                else:
+                    self._state = OPEN
+                    self._opened_at = time.monotonic()
+                    self._trips += 1
+                return
+            if ok:
+                self._consecutive_failures = 0
+                return
+            self._consecutive_failures += 1
+            if self._state == CLOSED \
+                    and self._consecutive_failures >= self.threshold:
+                self._state = OPEN
+                self._opened_at = time.monotonic()
+                self._trips += 1
+
+    # -- observability ----------------------------------------------------
+    @property
+    def state(self) -> str:
+        with self._lock:
+            if self._state == OPEN and \
+                    time.monotonic() - self._opened_at >= self.cooldown_s:
+                return HALF_OPEN
+            return self._state
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "state": self._state,
+                "consecutive_failures": self._consecutive_failures,
+                "trips": self._trips,
+                "threshold": self.threshold,
+                "cooldown_s": self.cooldown_s,
+            }

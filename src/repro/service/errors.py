@@ -1,0 +1,110 @@
+"""Error taxonomy of the compile/simulate service.
+
+Every failure a client can observe maps to one structured error code,
+and each code states its retry semantics explicitly — clients never
+have to parse message text to decide what to do next:
+
+=================  =========================================  =========
+Code               Meaning                                    Retryable
+=================  =========================================  =========
+``BUSY``           admission queue full; the response carries yes
+                   ``retry_after_s``
+``TIMEOUT``        the request's deadline expired (queued or  no
+                   mid-execution — execution is cancelled
+                   cooperatively at the next stage boundary)
+``WORKER_CRASH``   a worker died running the request and the  yes
+                   requeue budget is exhausted
+``SHUTTING_DOWN``  the server is draining; no new admissions  elsewhere
+``BAD_REQUEST``    malformed spec (unknown kernel kind, bad   no
+                   shapes, undecodable arrays)
+``INTERNAL``       unexpected server-side failure             no
+=================  =========================================  =========
+
+On the wire an error response is ``{"status": "error", "code": ...,
+"message": ..., "retry_after_s": ...}``; client-side each code raises
+the matching exception below, all rooted at :class:`ServiceError`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+BUSY = "BUSY"
+TIMEOUT = "TIMEOUT"
+WORKER_CRASH = "WORKER_CRASH"
+SHUTTING_DOWN = "SHUTTING_DOWN"
+BAD_REQUEST = "BAD_REQUEST"
+INTERNAL = "INTERNAL"
+
+#: Codes a client may retry against the *same* server (BUSY after the
+#: advertised delay; WORKER_CRASH is surfaced only once the server's
+#: own requeue budget is spent, so retrying re-enters the ladder).
+RETRYABLE_CODES = frozenset({BUSY, WORKER_CRASH})
+
+
+class ServiceError(RuntimeError):
+    """Base of every structured service failure."""
+
+    code = INTERNAL
+
+    def __init__(self, message: str,
+                 retry_after_s: Optional[float] = None) -> None:
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+
+class ServiceBusy(ServiceError):
+    """Admission queue full; retry after ``retry_after_s``."""
+
+    code = BUSY
+
+
+class ServiceTimeout(ServiceError):
+    """The request deadline expired before a result was produced."""
+
+    code = TIMEOUT
+
+
+class WorkerCrashed(ServiceError):
+    """The worker executing the request died; requeue budget spent."""
+
+    code = WORKER_CRASH
+
+
+class ServiceShuttingDown(ServiceError):
+    """The server is draining and admits no new requests."""
+
+    code = SHUTTING_DOWN
+
+
+class BadRequest(ServiceError):
+    """The request spec is malformed; retrying cannot help."""
+
+    code = BAD_REQUEST
+
+
+class InternalServiceError(ServiceError):
+    """Unexpected server-side failure."""
+
+    code = INTERNAL
+
+
+class ProtocolError(RuntimeError):
+    """The peer violated the length-prefixed JSON framing."""
+
+
+_BY_CODE = {
+    cls.code: cls
+    for cls in (ServiceBusy, ServiceTimeout, WorkerCrashed,
+                ServiceShuttingDown, BadRequest, InternalServiceError)
+}
+
+
+def error_from_code(code: str, message: str,
+                    retry_after_s: Optional[float] = None) -> ServiceError:
+    """Rebuild the typed exception for a wire error response."""
+    cls = _BY_CODE.get(code, InternalServiceError)
+    error = cls(message, retry_after_s=retry_after_s)
+    if cls is InternalServiceError and code not in _BY_CODE:
+        error.args = (f"[{code}] {message}",)
+    return error

@@ -1,0 +1,198 @@
+"""Length-prefixed JSON wire protocol of the compile/simulate service.
+
+Frames are ``<4-byte big-endian length><UTF-8 JSON body>``.  JSON keeps
+the protocol stdlib-only and language-agnostic; the two non-JSON value
+kinds a request/response needs ride in tagged envelopes:
+
+* ``{"__nd__": {"dtype": ..., "shape": [...], "data": <base64>}}`` —
+  a C-contiguous :class:`numpy.ndarray` (raw little-endian bytes).
+* ``{"__perf__": {field: value, ...}}`` — a
+  :class:`~repro.soc.perf.PerfCounters` bundle.  Python's JSON float
+  serialization is ``repr``-based and round-trips exactly, so counters
+  survive the wire bit-identical — the service's acceptance bar.
+
+There is no pickle anywhere on the socket (mirroring the kernel-store
+container): a hostile peer can at worst produce a
+:class:`~repro.service.errors.ProtocolError` or a ``BAD_REQUEST``.
+
+The ``service.rpc:io`` fault site (:mod:`repro.faults`) fires inside
+:func:`send_message`/:func:`recv_message` and turns into the exact
+failure the retry ladder absorbs: a connection reset mid-frame.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+import socket
+import struct
+from typing import Any, Optional, Tuple
+
+import numpy as np
+
+from .. import faults
+from ..soc import PerfCounters
+from .errors import ProtocolError
+
+#: Frame header: one unsigned 32-bit big-endian body length.
+_HEADER = struct.Struct(">I")
+
+#: Upper bound on a frame body; anything larger is a protocol
+#: violation, not a legitimate kernel request.
+MAX_FRAME_BYTES = 256 * 1024 * 1024
+
+
+# -- value codec ------------------------------------------------------------
+
+def _encode_value(value: Any) -> Any:
+    if isinstance(value, np.ndarray):
+        data = np.ascontiguousarray(value)
+        return {"__nd__": {
+            "dtype": data.dtype.str,
+            "shape": list(data.shape),
+            "data": base64.b64encode(data.tobytes()).decode("ascii"),
+        }}
+    if isinstance(value, PerfCounters):
+        return {"__perf__": {
+            name: _encode_value(field)
+            for name, field in vars(value).items()
+        }}
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, dict):
+        return {key: _encode_value(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_encode_value(item) for item in value]
+    return value
+
+
+def _decode_value(value: Any) -> Any:
+    if isinstance(value, dict):
+        if set(value) == {"__nd__"}:
+            spec = value["__nd__"]
+            try:
+                dtype = np.dtype(spec["dtype"])
+                if dtype.hasobject:
+                    raise ProtocolError("object-dtype array on the wire")
+                raw = base64.b64decode(spec["data"])
+                array = np.frombuffer(raw, dtype=dtype)
+                return array.reshape([int(n) for n in spec["shape"]]).copy()
+            except ProtocolError:
+                raise
+            except Exception as exc:
+                raise ProtocolError(f"bad array envelope: {exc}") from None
+        if set(value) == {"__perf__"}:
+            counters = PerfCounters()
+            fields = vars(counters)
+            for name, item in value["__perf__"].items():
+                if name not in fields:
+                    raise ProtocolError(
+                        f"unknown PerfCounters field {name!r}"
+                    )
+                setattr(counters, name, _decode_value(item))
+            return counters
+        return {key: _decode_value(item) for key, item in value.items()}
+    if isinstance(value, list):
+        return [_decode_value(item) for item in value]
+    return value
+
+
+def encode_message(message: dict) -> bytes:
+    body = json.dumps(_encode_value(message),
+                      separators=(",", ":")).encode()
+    if len(body) > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame of {len(body)} bytes exceeds cap")
+    return _HEADER.pack(len(body)) + body
+
+
+def decode_body(body: bytes) -> dict:
+    try:
+        message = json.loads(body)
+    except ValueError as exc:
+        raise ProtocolError(f"bad JSON frame: {exc}") from None
+    if not isinstance(message, dict):
+        raise ProtocolError("frame body is not a JSON object")
+    return _decode_value(message)
+
+
+# -- socket framing ---------------------------------------------------------
+
+def _injected_io() -> None:
+    if faults.fires("service.rpc") == "io":
+        raise ConnectionResetError("injected service.rpc io fault")
+
+
+def send_message(sock: socket.socket, message: dict) -> None:
+    """Write one frame; raises ``OSError`` on a broken connection."""
+    _injected_io()
+    sock.sendall(encode_message(message))
+
+
+def _recv_exact(sock: socket.socket, count: int) -> Optional[bytes]:
+    chunks = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            return None  # orderly EOF
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_message(sock: socket.socket) -> Optional[dict]:
+    """Read one frame; ``None`` on orderly EOF before a header.
+
+    EOF *inside* a frame is a :class:`ProtocolError` (torn write), and
+    injected ``service.rpc:io`` faults surface as connection resets —
+    both land on the client's retry rung.
+    """
+    _injected_io()
+    header = _recv_exact(sock, _HEADER.size)
+    if header is None:
+        return None
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"peer announced {length}-byte frame")
+    body = _recv_exact(sock, length)
+    if body is None:
+        raise ProtocolError("connection closed mid-frame")
+    return decode_body(body)
+
+
+# -- request identity -------------------------------------------------------
+
+def canonical_spec_digest(spec: dict) -> str:
+    """Deterministic digest of a request spec, inputs included.
+
+    Used for single-flight coalescing: two in-flight requests with
+    equal digests are the same deterministic computation, so one
+    execution serves both.  Array data is hashed raw (dtype/shape
+    prefixed) rather than base64-encoded for speed.
+    """
+    hasher = hashlib.sha256()
+
+    def feed(value: Any) -> None:
+        if isinstance(value, np.ndarray):
+            data = np.ascontiguousarray(value)
+            hasher.update(f"nd:{data.dtype.str}:{data.shape}".encode())
+            hasher.update(data.tobytes())
+        elif isinstance(value, dict):
+            hasher.update(b"{")
+            for key in sorted(value):
+                hasher.update(repr(key).encode())
+                feed(value[key])
+            hasher.update(b"}")
+        elif isinstance(value, (list, tuple)):
+            hasher.update(b"[")
+            for item in value:
+                feed(item)
+            hasher.update(b"]")
+        else:
+            hasher.update(repr(value).encode())
+
+    feed(spec)
+    return hasher.hexdigest()

@@ -33,7 +33,9 @@ import os
 import shutil
 import subprocess
 import tempfile
+import threading as _threading
 import warnings
+from contextlib import contextmanager as _contextmanager
 from typing import Optional
 
 from .. import faults
@@ -466,6 +468,31 @@ _lib: Optional[ctypes.CDLL] = None
 _tried = False
 _build_dir: Optional[str] = None
 
+#: Scoped suppression (see suspend_native): service workers run
+#: requests with the native seam pre-disabled while the server's
+#: native circuit breaker is open, without disturbing the probe memo.
+_suspension = _threading.local()
+
+
+def native_suspended() -> bool:
+    """True while inside a :func:`suspend_native` scope on this thread."""
+    return getattr(_suspension, "count", 0) > 0
+
+
+@_contextmanager
+def suspend_native():
+    """Force the pure-Python kernels for the duration of the scope.
+
+    Unlike ``REPRO_NO_NATIVE=1`` this works even after a successful
+    probe: the memoized library is simply not handed out.  Results are
+    bit-identical either way; only latency changes.
+    """
+    _suspension.count = getattr(_suspension, "count", 0) + 1
+    try:
+        yield
+    finally:
+        _suspension.count -= 1
+
 #: Why the library is (un)available: "untried", "ok", "disabled"
 #: (REPRO_NO_NATIVE=1), "no-compiler", "compile-failed", "load-failed",
 #: or "fault-injected".  The memo makes degradation one-shot: the
@@ -503,6 +530,8 @@ def _cleanup() -> None:
 def native_lib() -> Optional[ctypes.CDLL]:
     """The compiled kernel library, or ``None`` when unavailable."""
     global _lib, _tried, _build_dir, _status
+    if native_suspended():
+        return None
     if _tried:
         return _lib
     _tried = True

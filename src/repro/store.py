@@ -59,7 +59,6 @@ import json
 import os
 import threading
 import time
-import warnings
 from collections import OrderedDict
 from contextlib import contextmanager
 from pathlib import Path
@@ -68,6 +67,7 @@ from typing import Any, Dict, Iterator, List, Optional, Tuple
 import numpy as np
 
 from . import faults
+from .envutil import env_float, env_int
 
 try:
     import fcntl
@@ -88,22 +88,6 @@ MAX_BYTES_ENV = "REPRO_KERNEL_CACHE_MAX_BYTES"
 LOCK_TIMEOUT_ENV = "REPRO_KERNEL_CACHE_LOCK_TIMEOUT_S"
 
 _DEFAULT_LOCK_TIMEOUT_S = 10.0
-
-#: (env var, malformed text) pairs already warned about: a bad value is
-#: reported exactly once instead of once per store operation — and
-#: never silently ignored.
-_warned_env_values: set = set()
-
-
-def _warn_malformed_env(var: str, text: str, fallback) -> None:
-    key = (var, text)
-    if key in _warned_env_values:
-        return
-    _warned_env_values.add(key)
-    warnings.warn(
-        f"ignoring malformed {var}={text!r}; falling back to "
-        f"{fallback!r}", RuntimeWarning, stacklevel=4,
-    )
 
 #: Temp files older than this are considered crash litter by gc().
 _TMP_MAX_AGE_S = 300.0
@@ -426,6 +410,16 @@ _tmp_counter_lock = threading.Lock()
 _tmp_counter = 0
 
 
+def _fresh_tmp_lock_after_fork() -> None:
+    # Forked children (service workers, model-pool workers) must not
+    # inherit a lock some other parent thread held mid-publish.
+    global _tmp_counter_lock
+    _tmp_counter_lock = threading.Lock()
+
+
+os.register_at_fork(after_in_child=_fresh_tmp_lock_after_fork)
+
+
 def _next_tmp_suffix() -> str:
     """Unique per (pid, thread, counter): concurrent writers anywhere
     on the same filesystem never collide on a temp name."""
@@ -484,23 +478,12 @@ class KernelStore:
     def _resolve_max_bytes(self) -> Optional[int]:
         if self._max_bytes is not None:
             return self._max_bytes
-        text = os.environ.get(MAX_BYTES_ENV, "")
-        try:
-            return int(text) if text else None
-        except ValueError:
-            _warn_malformed_env(MAX_BYTES_ENV, text, None)
-            return None
+        return env_int(MAX_BYTES_ENV, None)
 
     def _resolve_lock_timeout(self) -> float:
         if self._lock_timeout_s is not None:
             return self._lock_timeout_s
-        text = os.environ.get(LOCK_TIMEOUT_ENV, "")
-        try:
-            return float(text) if text else _DEFAULT_LOCK_TIMEOUT_S
-        except ValueError:
-            _warn_malformed_env(LOCK_TIMEOUT_ENV, text,
-                                _DEFAULT_LOCK_TIMEOUT_S)
-            return _DEFAULT_LOCK_TIMEOUT_S
+        return env_float(LOCK_TIMEOUT_ENV, _DEFAULT_LOCK_TIMEOUT_S)
 
     # -- load -------------------------------------------------------------
     def load(self, name: str,

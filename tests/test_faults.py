@@ -72,6 +72,75 @@ class TestGrammar:
         assert faults.fires("store.read") is None
 
 
+class TestDocstringContract:
+    """The module docstring is executable documentation: every fault
+    clause it shows must parse against the real site registry, so the
+    grammar example can never drift from the code again (it once
+    showed ``lock:timeout@0.1`` against an example using canonical
+    site names)."""
+
+    CLAUSE_RE = r"\b([a-z]+(?:\.[a-z]+)+:[a-z]+(?:@[0-9.]+)?)\b"
+
+    def _docstring_clauses(self):
+        import re
+        return re.findall(self.CLAUSE_RE, faults.__doc__)
+
+    def test_every_docstring_clause_parses(self):
+        clauses = self._docstring_clauses()
+        assert clauses, "docstring lost its grammar examples"
+        for clause in clauses:
+            parsed = faults.parse_faults(clause)  # must not raise
+            assert len(parsed) == 1
+
+    def test_grammar_example_covers_service_sites(self):
+        sites = {clause.split(":")[0]
+                 for clause in self._docstring_clauses()}
+        assert "store.lock" in sites  # the canonical name, not 'lock'
+        assert "service.worker" in sites
+
+    def test_every_registered_kind_parses(self):
+        for site, kinds in faults.SITES.items():
+            for kind in kinds:
+                parsed = faults.parse_faults(f"{site}:{kind}@0.5")
+                assert parsed[site].kind == kind
+
+
+class TestMalformedSeed:
+    """REPRO_FAULTS_SEED follows the one-shot-warning knob contract:
+    garbage warns once and falls back to the default seed instead of
+    erroring (or silently changing the schedule)."""
+
+    def _fresh_warn_memo(self, monkeypatch):
+        from repro import envutil
+        monkeypatch.setattr(envutil, "_warned_env_values", set())
+
+    def test_malformed_seed_warns_once_and_uses_default(
+            self, monkeypatch):
+        self._fresh_warn_memo(monkeypatch)
+        monkeypatch.setenv("REPRO_FAULTS", "replay:fail@0.3")
+        monkeypatch.setenv("REPRO_FAULTS_SEED", "banana")
+        with pytest.warns(RuntimeWarning,
+                          match="REPRO_FAULTS_SEED='banana'"):
+            schedule = [faults.fires("replay") for _ in range(64)]
+        # Same schedule as the default seed 0.
+        faults.reset_faults()
+        monkeypatch.setenv("REPRO_FAULTS_SEED", "0")
+        assert [faults.fires("replay") for _ in range(64)] == schedule
+
+    def test_warning_is_one_shot_per_value(self, monkeypatch):
+        import warnings as warnings_mod
+
+        self._fresh_warn_memo(monkeypatch)
+        monkeypatch.setenv("REPRO_FAULTS", "replay:fail")
+        monkeypatch.setenv("REPRO_FAULTS_SEED", "3.5")
+        with pytest.warns(RuntimeWarning):
+            faults.fires("replay")
+        faults.reset_faults()  # force clause re-parse
+        with warnings_mod.catch_warnings():
+            warnings_mod.simplefilter("error")
+            assert faults.fires("replay") == "fail"
+
+
 class TestDeterminism:
     def _schedule(self, seed, draws=64):
         faults.reset_faults()
@@ -348,3 +417,42 @@ class TestDiagnostics:
         assert report["faults"].get("synth", 0) >= 1
         assert set(report["store"]) == set(STORE_COUNTERS)
         assert "status" in report["native"]
+
+
+class TestForkSafety:
+    def test_child_gets_fresh_fault_lock(self, monkeypatch):
+        """A child forked while another thread holds ``faults._lock``
+        (exactly what a service worker-restart fork can hit) must get a
+        fresh lock instead of deadlocking on its first ``fires()``."""
+        import multiprocessing
+        import threading
+
+        monkeypatch.setenv("REPRO_FAULTS", "synth:fail@0.5")
+        faults.reset_faults()
+        faults.fires("synth")  # warm the memo so _lock is exercised
+
+        release = threading.Event()
+
+        def holder():
+            with faults._lock:
+                release.wait(timeout=30)
+
+        thread = threading.Thread(target=holder, daemon=True)
+        thread.start()
+        while not faults._lock.locked():
+            pass
+
+        def child(queue):
+            # Would hang forever on an inherited held lock.
+            queue.put(faults.fires("synth") in (None, "fail"))
+
+        context = multiprocessing.get_context("fork")
+        queue = context.Queue()
+        process = context.Process(target=child, args=(queue,))
+        process.start()
+        ok = queue.get(timeout=30)
+        process.join(timeout=30)
+        release.set()
+        thread.join(timeout=5)
+        assert ok
+        assert process.exitcode == 0

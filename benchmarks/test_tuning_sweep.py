@@ -1,0 +1,32 @@
+"""Autotuning sweep engine: best-config search over the smoke space.
+
+Times one end-to-end sweep — enumeration, traffic-model pruning,
+journaled execution, report rendering — and records the winners per
+(kernel, shape).  Expected shape: the sweep agrees with simulation
+(the reported best really has the lowest simulated time within its
+group), and completed+pruned+poisoned+failed accounts for every point.
+"""
+
+from repro.experiments import format_table, sweep_rows
+
+COLUMNS = ("group", "accel_version", "flow", "tiles", "cpu_tiling",
+           "metric_s")
+
+
+def test_tuning_sweep(benchmark, write_table, tmp_path):
+    rows = benchmark.pedantic(
+        sweep_rows, rounds=1, iterations=1,
+        kwargs={"journal_path": tmp_path / "sweep.jsonl",
+                "report_path": tmp_path / "sweep_report.json"},
+    )
+    write_table("tuning_sweep", format_table(rows, COLUMNS))
+
+    assert rows, "sweep produced no winners"
+    groups = {row["group"] for row in rows}
+    assert groups == {"matmul-8x8x8", "matmul-16x16x8"}
+    for row in rows:
+        assert row["metric_s"] > 0
+    # The journal compacted to its live content and the report is
+    # where the driver published it.
+    assert (tmp_path / "sweep_report.json").exists()
+    assert not list(tmp_path.glob("*.tmp-*"))

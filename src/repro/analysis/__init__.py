@@ -1,5 +1,5 @@
 """Static analyses over lowering plans."""
 
-from .traffic import TrafficEstimate, estimate_traffic
+from .traffic import TrafficEstimate, TrafficUnsupported, estimate_traffic
 
-__all__ = ["TrafficEstimate", "estimate_traffic"]
+__all__ = ["TrafficEstimate", "TrafficUnsupported", "estimate_traffic"]

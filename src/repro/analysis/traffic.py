@@ -22,6 +22,24 @@ from ..transforms.flow_analysis import PlacedGroup, PlacedOpcode
 from ..transforms.lower_to_accel import LoweringPlan, _result_tile_size
 
 
+class TrafficUnsupported(ValueError):
+    """The plan uses an option the traffic model does not cover.
+
+    ``option`` names the offending lowering option (machine-readable,
+    e.g. ``"enable_cpu_tiling"``) and ``detail`` the specific instance
+    (e.g. the CPU-tiled dim), so callers like the sweep pruner can
+    count-and-skip per option instead of string-matching the message.
+    Subclasses ``ValueError`` for compatibility with pre-existing
+    callers that catch the old bare error.
+    """
+
+    def __init__(self, message: str, option: str,
+                 detail: str = "") -> None:
+        super().__init__(message)
+        self.option = option
+        self.detail = detail
+
+
 @dataclass(frozen=True)
 class TrafficEstimate:
     """Predicted DMA behaviour of one generated kernel execution."""
@@ -168,9 +186,10 @@ def estimate_traffic(plan: LoweringPlan, opcode_map: OpcodeMap,
     """
     for dim in plan.loop_order:
         if plan.cpu_tiles.get(dim, plan.extents[dim]) != plan.extents[dim]:
-            raise ValueError(
+            raise TrafficUnsupported(
                 "traffic estimation requires enable_cpu_tiling=False "
-                f"(dim {dim!r} is CPU-tiled)"
+                f"(dim {dim!r} is CPU-tiled)",
+                option="enable_cpu_tiling", detail=dim,
             )
     estimator = _Estimator(plan, opcode_map, operand_maps, itemsize)
     estimator.visit_init()

@@ -71,7 +71,10 @@ def diagnostics() -> dict:
     site, and ``native`` reports why the C fast path is (un)available.
     ``service`` counts compile/simulate-service events in this process
     (admissions, sheds, coalesced submits, worker crashes, drain-time
-    worker merges) — nonzero only in a server process.
+    worker merges) — nonzero only in a server process.  ``tuning``
+    counts autotuning sweep events (points completed / pruned /
+    poisoned, journal appends and recovery anomalies, sweep-worker
+    crashes and restarts) — nonzero only after a sweep ran.
     """
     # Lazy imports: repro.store and repro.soc._native both import
     # execution machinery, so pulling them in at module scope would be
@@ -80,6 +83,7 @@ def diagnostics() -> dict:
     from ..service.server import service_counters
     from ..soc._native import native_status
     from ..store import STORE_COUNTERS
+    from ..tuning.counters import tuning_counters
 
     return {
         "stage_timings": dict(STAGE_TIMINGS),
@@ -87,6 +91,7 @@ def diagnostics() -> dict:
         "metrics_plan": dict(METRICS_PLAN_COUNTERS),
         "model_plan": dict(MODEL_PLAN_COUNTERS),
         "store": dict(STORE_COUNTERS),
+        "tuning": tuning_counters(),
         "faults": fault_counters(),
         "native": native_status(),
         "service": service_counters(),

@@ -477,6 +477,7 @@ def snapshot_diagnostics() -> dict:
     """Flat snapshot of every cumulative counter a worker can advance."""
     from ..compiler import default_kernel_cache
     from ..store import STORE_COUNTERS
+    from ..tuning.counters import tuning_counters
     from .trace import STAGE_TIMINGS
 
     cache = default_kernel_cache()
@@ -486,6 +487,7 @@ def snapshot_diagnostics() -> dict:
         "metrics": dict(metrics.METRICS_PLAN_COUNTERS),
         "model": dict(MODEL_PLAN_COUNTERS),
         "store": dict(STORE_COUNTERS),
+        "tuning": tuning_counters(),
         "faults": faults.fault_counters(),
         "kernel_cache": {
             "hits": cache.hits, "misses": cache.misses,
@@ -529,6 +531,10 @@ def merge_worker_diagnostics(delta: dict, count_worker: bool = True) -> None:
                 MODEL_PLAN_COUNTERS.get(key, 0) + value
         for key, value in delta.get("store", {}).items():
             STORE_COUNTERS[key] = STORE_COUNTERS.get(key, 0) + value
+    if delta.get("tuning"):
+        from ..tuning.counters import merge_tuning_counters
+
+        merge_tuning_counters(delta["tuning"])
     faults.merge_fault_counters(delta.get("faults", {}))
     default_kernel_cache().merge_stats(delta.get("kernel_cache", {}))
     if count_worker:

@@ -73,6 +73,13 @@ STAGE_TIMINGS: Dict[str, float] = {
     # ModelPlan vs serving a fused sub-plan (a subset of replay_s).
     "model_plan_build_s": 0.0,
     "model_plan_apply_s": 0.0,
+    # Autotuning sweep breakdown: total sweep wall-clock, journal I/O,
+    # and the per-point pipeline stages measured inside the workers.
+    "sweep_run_s": 0.0,
+    "sweep_journal_s": 0.0,
+    "sweep_compile_s": 0.0,
+    "sweep_estimate_s": 0.0,
+    "sweep_simulate_s": 0.0,
 }
 
 #: Guards STAGE_TIMINGS mutation: stage times are accumulated from

@@ -28,6 +28,7 @@ from .figures import (
     fig14_rows,
     fig16_rows,
     fig17_rows,
+    sweep_rows,
 )
 
 __all__ = [
@@ -40,5 +41,5 @@ __all__ = [
     "run_conv_model", "run_matmul_model",
     "format_table", "table1_rows",
     "fig10_rows", "fig11_rows", "fig12_rows", "fig13_rows",
-    "fig14_rows", "fig16_rows", "fig17_rows",
+    "fig14_rows", "fig16_rows", "fig17_rows", "sweep_rows",
 ]

@@ -218,6 +218,31 @@ def fig14_problems() -> List[tuple]:
     return sorted(set(permutations(values)))
 
 
+def sweep_rows(journal_path=None, report_path=None) -> List[Dict]:
+    """Best-config rows from a smoke run of the autotuning sweep engine.
+
+    Runs (or, when ``journal_path`` points at an interrupted sweep's
+    journal, resumes) the crash-safe sweep over the smoke space and
+    flattens the per-(kernel, shape) winners into table rows — the
+    same shape the figure tables use, so the tuned configurations can
+    be compared directly against the heuristic-chosen ones.
+    """
+    import tempfile
+
+    from ..tuning import SweepDriver, best_rows, smoke_space
+
+    if journal_path is None:
+        journal_path = os.path.join(
+            tempfile.mkdtemp(prefix="repro-sweep-"), "sweep.jsonl")
+    driver = SweepDriver(smoke_space(), journal_path=journal_path,
+                         report_path=report_path)
+    result = driver.run()
+    if not result["complete"]:
+        raise RuntimeError("autotuning sweep was interrupted before "
+                           "completing; resume it with the same journal")
+    return best_rows(result["report"])
+
+
 def fig14_rows() -> List[Dict]:
     rows = []
     for m, n, k in fig14_problems():

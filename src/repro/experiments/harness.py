@@ -80,6 +80,14 @@ def _expected_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     return (a.astype(np.float64) @ b.astype(np.float64)).astype(np.int64)
 
 
+#: Public aliases for the deterministic harness inputs and oracle — the
+#: tuning sweep workers evaluate candidate configurations against the
+#: same data the figure harnesses use, so sweep metrics and figure
+#: metrics are directly comparable.
+matmul_inputs = _data
+expected_matmul = _expected_matmul
+
+
 @lru_cache(maxsize=None)
 def measure_cpu_matmul(dims: int) -> PerfCounters:
     """``mlir_CPU``: the problem run entirely on the host."""

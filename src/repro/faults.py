@@ -12,7 +12,11 @@ points in ``store.py``, ``soc/_native.py``, ``execution/metrics.py``,
 firing into the exact failure the fallback is designed to absorb
 (``model.plan:fail`` degrades fused model-plan steps to the per-kernel
 metrics-plan path; ``service.worker:crash`` kills a pool worker
-mid-request).
+mid-request).  The autotuning sweep adds three sites of its own:
+``tuning.journal:io`` fails journal appends (the sweep degrades to
+memory-only progress tracking), ``tuning.worker:crash`` kills sweep
+workers mid-point, and ``tuning.point:poison`` makes specific points
+crash every worker that touches them until quarantined.
 
 Grammar (``REPRO_FAULTS``)::
 
@@ -60,6 +64,9 @@ SITES = {
     "service.worker": ("crash",),
     "service.rpc": ("io",),
     "service.queue": ("full",),
+    "tuning.journal": ("io",),
+    "tuning.worker": ("crash",),
+    "tuning.point": ("poison",),
 }
 
 #: Accepted shorthand for site names.
@@ -71,13 +78,16 @@ class FaultConfigError(ValueError):
 
 
 class _FaultClause:
-    __slots__ = ("site", "kind", "probability", "stream")
+    __slots__ = ("site", "kind", "probability", "seed", "stream")
 
     def __init__(self, site: str, kind: str, probability: float,
                  seed: int) -> None:
         self.site = site
         self.kind = kind
         self.probability = probability
+        # Kept for keyed_fires(), whose draws are pure functions of
+        # (seed, site, key) rather than stream positions.
+        self.seed = seed
         # Seed folds in the site name so each site has an independent,
         # reproducible stream regardless of consultation order.
         self.stream = random.Random(f"{seed}:{site}")
@@ -198,6 +208,30 @@ def fires(site: str) -> Optional[str]:
         if clause.probability < 1.0 and \
                 clause.stream.random() >= clause.probability:
             return None
+        FAULT_COUNTERS[site] = FAULT_COUNTERS.get(site, 0) + 1
+    return clause.kind
+
+
+def keyed_fires(site: str, key: str) -> Optional[str]:
+    """Consult the registry with a caller-supplied identity key.
+
+    Unlike :func:`fires`, the draw is a pure function of
+    ``(seed, site, key)`` — no stream position — so the verdict for a
+    given key is identical no matter how many times or in what order
+    sites were consulted, across processes, and across restarts.  The
+    sweep driver keys on point digests: whether a candidate point
+    crashes its worker must not depend on where a previous run was
+    SIGKILLed, or resumed sweeps could not reproduce an uninterrupted
+    run's report bit for bit.  Fired draws are counted; non-firing
+    consultations are free and repeatable.
+    """
+    clause = _active_clauses().get(site)
+    if clause is None:
+        return None
+    draw = random.Random(f"{clause.seed}:{site}:{key}").random()
+    if draw >= clause.probability:
+        return None
+    with _lock:
         FAULT_COUNTERS[site] = FAULT_COUNTERS.get(site, 0) + 1
     return clause.kind
 

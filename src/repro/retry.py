@@ -1,0 +1,70 @@
+"""Seeded retry policy shared by the service client and the sweep driver.
+
+Two pieces every retrying caller in this codebase needs, extracted from
+``repro.service.client`` so the autotuning sweep driver cannot drift
+from the service's behaviour:
+
+* :class:`BackoffSchedule` — deterministic exponential backoff with
+  bounded jitter, seeded per ``(seed, site)`` exactly like the fault
+  streams in :mod:`repro.faults`, so one seed pins a whole chaos run
+  (fault points *and* retry timing) and tests can assert the exact
+  delay sequence.
+* :func:`retryable` — the retry-classification predicate: transient
+  transport failures (by exception type) and explicitly retryable
+  error codes are worth another attempt; everything else is a
+  permanent failure that must surface immediately.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import FrozenSet, Iterator, Optional, Tuple, Type
+
+
+class BackoffSchedule:
+    """Deterministic exponential backoff with bounded jitter.
+
+    The delay for attempt ``i`` (0-based) is
+    ``min(base * factor**i, max_delay) * (1 + jitter * u_i)`` with
+    ``u_i`` drawn from ``random.Random(f"{seed}:{site}")`` — the same
+    per-site stream idiom :mod:`repro.faults` uses, so one seed pins
+    the whole chaos run: fault points *and* retry timing.
+    """
+
+    def __init__(self, seed: int = 0, site: str = "client",
+                 base: float = 0.05, factor: float = 2.0,
+                 max_delay: float = 2.0, jitter: float = 0.5) -> None:
+        self.base = base
+        self.factor = factor
+        self.max_delay = max_delay
+        self.jitter = jitter
+        self._rng = random.Random(f"{seed}:{site}")
+        self._attempt = 0
+
+    def next_delay(self) -> float:
+        delay = min(self.base * self.factor ** self._attempt,
+                    self.max_delay)
+        delay *= 1.0 + self.jitter * self._rng.random()
+        self._attempt += 1
+        return delay
+
+    def delays(self, count: int) -> Iterator[float]:
+        return (self.next_delay() for _ in range(count))
+
+
+def retryable(error: Exception,
+              transient_types: Tuple[Type[BaseException], ...] = (OSError,),
+              code: Optional[str] = None,
+              retryable_codes: FrozenSet[str] = frozenset()) -> bool:
+    """Classify one failure: is another attempt worth making?
+
+    ``transient_types`` covers transport-level failures where the
+    operation may simply not have happened (connection resets, torn
+    frames, journal I/O).  ``code`` is an optional application-level
+    error code checked against ``retryable_codes`` — the service's
+    ``BUSY`` / ``WORKER_CRASH`` taxonomy, the sweep driver's crash and
+    deadline outcomes.  An error matching neither is permanent.
+    """
+    if code is not None:
+        return code in retryable_codes
+    return isinstance(error, transient_types)

@@ -21,47 +21,20 @@ and owns the client half of the robustness ladder:
 
 from __future__ import annotations
 
-import random
 import socket
 import time
 import uuid
-from typing import Any, Dict, Iterator, Optional, Tuple
+from typing import Any, Dict, Optional, Tuple
 
 import numpy as np
 
+from ..retry import BackoffSchedule, retryable
 from ..soc import PerfCounters
 from . import errors, protocol
 
-
-class BackoffSchedule:
-    """Deterministic exponential backoff with bounded jitter.
-
-    The delay for attempt ``i`` (0-based) is
-    ``min(base * factor**i, max_delay) * (1 + jitter * u_i)`` with
-    ``u_i`` drawn from ``random.Random(f"{seed}:{site}")`` — the same
-    per-site stream idiom :mod:`repro.faults` uses, so one seed pins
-    the whole chaos run: fault points *and* retry timing.
-    """
-
-    def __init__(self, seed: int = 0, site: str = "client",
-                 base: float = 0.05, factor: float = 2.0,
-                 max_delay: float = 2.0, jitter: float = 0.5) -> None:
-        self.base = base
-        self.factor = factor
-        self.max_delay = max_delay
-        self.jitter = jitter
-        self._rng = random.Random(f"{seed}:{site}")
-        self._attempt = 0
-
-    def next_delay(self) -> float:
-        delay = min(self.base * self.factor ** self._attempt,
-                    self.max_delay)
-        delay *= 1.0 + self.jitter * self._rng.random()
-        self._attempt += 1
-        return delay
-
-    def delays(self, count: int) -> Iterator[float]:
-        return (self.next_delay() for _ in range(count))
+#: Transport-level failures where the request may not have executed:
+#: always worth a retry (the idempotent request_id makes it safe).
+_TRANSIENT_WIRE = (OSError, errors.ProtocolError)
 
 
 class ServiceClient:
@@ -143,7 +116,7 @@ class ServiceClient:
         for attempt in range(self.max_attempts):
             try:
                 reply = self._roundtrip(message)
-            except (OSError, errors.ProtocolError) as exc:
+            except _TRANSIENT_WIRE as exc:
                 last_error = exc
                 if attempt + 1 < self.max_attempts:
                     self._sleep(backoff.next_delay())
@@ -154,7 +127,8 @@ class ServiceClient:
             error = errors.error_from_code(
                 code, reply.get("message", ""),
                 reply.get("retry_after_s"))
-            if code not in errors.RETRYABLE_CODES \
+            if not retryable(error, code=code,
+                             retryable_codes=errors.RETRYABLE_CODES) \
                     or attempt + 1 >= self.max_attempts:
                 raise error
             last_error = error

@@ -100,6 +100,15 @@ def _decode_value(value: Any) -> Any:
     return value
 
 
+#: Public names for the JSON value codec.  The tuning journal persists
+#: PerfCounters through the same envelopes the wire uses: Python's JSON
+#: float serialization is repr-based and round-trips exactly, so a
+#: result replayed from the journal is bit-identical to the freshly
+#: computed one — the property the resume acceptance test pins.
+encode_value = _encode_value
+decode_value = _decode_value
+
+
 def encode_message(message: dict) -> bytes:
     body = json.dumps(_encode_value(message),
                       separators=(",", ":")).encode()

@@ -443,6 +443,16 @@ def _fsync_dir(directory: Path) -> None:
         os.close(fd)
 
 
+#: Public names for the atomic-publish building blocks (write to a
+#: collision-free ``*.tmp-*`` sibling, fsync, ``os.replace``, fsync the
+#: directory).  The tuning journal's rotation/compaction reuses them so
+#: every durable artifact in the repo follows one idiom — and one
+#: hygiene rule: a crash at any instant leaves either the old file, the
+#: new file, or removable ``*.tmp-*`` litter, never a torn target.
+next_tmp_suffix = _next_tmp_suffix
+fsync_dir = _fsync_dir
+
+
 def _count(key: str, amount: int = 1) -> None:
     STORE_COUNTERS[key] += amount
 

@@ -1,0 +1,128 @@
+"""CI smoke for the autotuning sweep engine (run as a script).
+
+Exercises the acceptance bar end-to-end with real processes:
+
+1. runs a small sweep to completion (the reference report);
+2. starts the same sweep against a fresh journal and SIGKILLs it the
+   instant a couple of results are journaled — no drain, no cleanup;
+3. resumes from the half-written journal and lets it finish;
+4. asserts the resumed report is **bit-identical** to the reference,
+   that completed points were served from the journal rather than
+   recomputed, and that neither run littered temp files.
+
+``REPRO_FAULTS`` / ``REPRO_FAULTS_SEED`` pass through to every run, so
+the CI chaos leg layers injected journal I/O errors, worker crashes,
+and poisoned points on top of the SIGKILL.
+
+Exit code 0 on success; prints a JSON summary either way.
+"""
+
+import glob
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(
+    os.path.dirname(os.path.abspath(__file__))))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+WORKDIR = os.environ.get("TUNING_CI_DIR", "tuning_ci")
+KILL_AFTER_RESULTS = int(os.environ.get("TUNING_CI_KILL_AFTER", "2"))
+STARTUP_TIMEOUT_S = 180
+
+
+def sweep_command(journal, report):
+    return [
+        sys.executable, "-m", "repro.tuning",
+        "--journal", journal, "--report", report,
+        "--versions", "1", "2", "--workers", "2",
+    ]
+
+
+def run_to_completion(journal, report, env):
+    proc = subprocess.run(sweep_command(journal, report), env=env,
+                          capture_output=True, text=True)
+    if proc.returncode != 0:
+        print(proc.stdout[-2000:], file=sys.stderr)
+        print(proc.stderr[-2000:], file=sys.stderr)
+        raise SystemExit(f"sweep exited {proc.returncode}")
+    return json.loads(proc.stdout.strip().splitlines()[-1])
+
+
+def journaled_results(journal):
+    try:
+        with open(journal, "r", encoding="utf-8") as fh:
+            return fh.read().count('"t":"result"')
+    except FileNotFoundError:
+        return 0
+
+
+def main():
+    os.makedirs(WORKDIR, exist_ok=True)
+    env = dict(os.environ, PYTHONPATH=os.path.join(REPO_ROOT, "src"))
+    clean_journal = os.path.join(WORKDIR, "clean.jsonl")
+    clean_report = os.path.join(WORKDIR, "clean.json")
+    killed_journal = os.path.join(WORKDIR, "killed.jsonl")
+    killed_report = os.path.join(WORKDIR, "killed.json")
+
+    # 1. Reference: one uninterrupted sweep.
+    clean_done = run_to_completion(clean_journal, clean_report, env)
+    assert clean_done["complete"], clean_done
+
+    # 2. Same sweep, SIGKILLed as soon as results start landing.
+    proc = subprocess.Popen(sweep_command(killed_journal, killed_report),
+                            env=env, stdout=subprocess.DEVNULL)
+    deadline = time.time() + STARTUP_TIMEOUT_S
+    while time.time() < deadline:
+        if journaled_results(killed_journal) >= KILL_AFTER_RESULTS:
+            break
+        if proc.poll() is not None:
+            break
+        time.sleep(0.05)
+    killed_mid_run = proc.poll() is None
+    results_at_kill = journaled_results(killed_journal)
+    if killed_mid_run:
+        os.kill(proc.pid, signal.SIGKILL)
+    proc.wait()
+    assert not os.path.exists(killed_report), \
+        "an interrupted sweep must not publish a report"
+
+    # 3. Resume from the torn journal.
+    resumed_done = run_to_completion(killed_journal, killed_report, env)
+    assert resumed_done["complete"], resumed_done
+    counters = resumed_done["counters"]
+    if killed_mid_run and results_at_kill:
+        assert counters["tuning_points_resumed"] >= 1, counters
+
+    # 4. Bit-identity + hygiene.
+    with open(clean_report, "rb") as fh:
+        reference = fh.read()
+    with open(killed_report, "rb") as fh:
+        resumed = fh.read()
+    identical = reference == resumed
+    litter = glob.glob(os.path.join(WORKDIR, "*.tmp-*"))
+    cache_dir = env.get("REPRO_KERNEL_CACHE_DIR")
+    if cache_dir and os.path.isdir(cache_dir):
+        litter += glob.glob(os.path.join(cache_dir, "*.tmp-*"))
+
+    summary = {
+        "killed_mid_run": killed_mid_run,
+        "results_at_kill": results_at_kill,
+        "resumed_points": counters["tuning_points_resumed"],
+        "replayed_records": counters["tuning_journal_replayed"],
+        "bit_identical": identical,
+        "litter": litter,
+    }
+    print(json.dumps(summary, indent=2))
+    if not identical:
+        raise SystemExit("resumed report differs from the reference")
+    if litter:
+        raise SystemExit(f"temp-file litter: {litter}")
+    print("TUNING CI SMOKE PASSED")
+
+
+if __name__ == "__main__":
+    main()

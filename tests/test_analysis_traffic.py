@@ -83,6 +83,21 @@ class TestMatmulTraffic:
             estimate_traffic(kernel.plan, info.opcode_map,
                              linalg.matmul_maps())
 
+    def test_rejection_is_structured(self):
+        from repro.analysis import TrafficUnsupported
+
+        hw, info = make_matmul_system(3, 16, flow="Ns")
+        compiler = AXI4MLIRCompiler(info, enable_cpu_tiling=True)
+        kernel = compiler.compile_matmul(512, 512, 512)
+        with pytest.raises(TrafficUnsupported) as excinfo:
+            estimate_traffic(kernel.plan, info.opcode_map,
+                             linalg.matmul_maps())
+        # Callers (the sweep pruner) branch on the offending option
+        # rather than parsing the message.
+        assert excinfo.value.option == "enable_cpu_tiling"
+        assert excinfo.value.detail
+        assert isinstance(excinfo.value, ValueError)
+
 
 class TestConvTraffic:
     def test_prediction_matches_simulation_exactly(self):

@@ -180,6 +180,52 @@ class TestDeterminism:
         assert faults.fault_counters()["synth"] == 3
 
 
+class TestKeyedDraws:
+    """keyed_fires: per-key verdicts independent of consultation order.
+
+    The sweep engine uses these for per-point crash/poison injection —
+    a point's verdict must be a pure function of (seed, site, key) so
+    a resumed sweep reproduces the interrupted sweep's verdicts no
+    matter which process asks, how many times, or in what order.
+    """
+
+    def test_verdict_is_order_and_repeat_independent(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "tuning.worker:crash@0.5")
+        monkeypatch.setenv("REPRO_FAULTS_SEED", "11")
+        keys = [f"point{i}" for i in range(32)]
+        forward = [faults.keyed_fires("tuning.worker", k) for k in keys]
+        backward = [faults.keyed_fires("tuning.worker", k)
+                    for k in reversed(keys)]
+        assert forward == list(reversed(backward))
+        # Unlike fires(), repeat consultation does not advance a stream.
+        assert forward == [faults.keyed_fires("tuning.worker", k)
+                           for k in keys]
+
+    def test_verdict_depends_on_seed_and_key(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "tuning.point:poison@0.5")
+        monkeypatch.setenv("REPRO_FAULTS_SEED", "1")
+        keys = [f"point{i}" for i in range(64)]
+        one = [faults.keyed_fires("tuning.point", k) for k in keys]
+        monkeypatch.setenv("REPRO_FAULTS_SEED", "2")
+        faults.reset_faults()
+        two = [faults.keyed_fires("tuning.point", k) for k in keys]
+        assert one != two
+        fired = [k for k in one if k]
+        assert 0 < len(fired) < len(keys)  # ~0.5, not all-or-nothing
+
+    def test_inactive_site_returns_none(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FAULTS", raising=False)
+        faults.reset_faults()
+        assert faults.keyed_fires("tuning.worker", "point0") is None
+
+    def test_fired_verdicts_are_counted(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "tuning.point:poison")
+        faults.reset_faults()
+        assert faults.keyed_fires("tuning.point", "a") == "poison"
+        assert faults.keyed_fires("tuning.point", "b") == "poison"
+        assert faults.fault_counters()["tuning.point"] == 2
+
+
 # -- bit-identity under every single fault ----------------------------------
 
 CONFIGS = [

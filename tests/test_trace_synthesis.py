@@ -254,7 +254,7 @@ class TestTraceSources:
         report = diagnostics()
         assert set(report) == {"stage_timings", "trace_sources",
                                "metrics_plan", "model_plan", "store",
-                               "faults", "native", "service"}
+                               "tuning", "faults", "native", "service"}
         assert "trace_synth_s" in report["stage_timings"]
         assert "manual_record_s" in report["stage_timings"]
         assert "metrics_plan_build_s" in report["stage_timings"]

@@ -4,9 +4,18 @@ Besides the per-figure result tables, a session that collects any
 benchmark test writes ``BENCH_perf.json`` at the repo root: wall-clock
 seconds per figure harness plus the benchmark/session totals, so the
 perf trajectory of the cost engine is tracked across PRs.
+
+With ``REPRO_BENCH_RECORD_WARM=1`` the session records only
+``warm_total_s`` into the existing record — run the benchmarks once
+normally (cold-leaning; writes the full payload), then a second time
+with this flag and a hot ``REPRO_KERNEL_CACHE_DIR`` to capture the
+warm-path figure.  A normal full session carries an existing
+``warm_total_s`` forward, so the two legs can be refreshed
+independently; ``perf_guard.py`` guards both totals.
 """
 
 import json
+import os
 from pathlib import Path
 
 import pytest
@@ -74,15 +83,35 @@ def pytest_sessionfinish(session, exitstatus):
         {nodeid.rsplit("::", 1)[-1] for nodeid in _expected}
     ):
         return
+    total = round(sum(_durations.values()), 3)
+    if os.environ.get("REPRO_BENCH_RECORD_WARM"):
+        # Warm (second-session, hot store) leg: update only the
+        # warm-path figure, leaving the cold payload untouched.
+        try:
+            payload = json.loads(BENCH_PERF_PATH.read_text())
+        except (OSError, ValueError):
+            payload = {}
+        payload["warm_total_s"] = total
+        BENCH_PERF_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+        return
     payload = {
         "per_harness_s": {
             name: round(seconds, 3)
             for name, seconds in sorted(_durations.items())
         },
-        "benchmarks_total_s": round(sum(_durations.values()), 3),
+        "benchmarks_total_s": total,
         "collected": session.testscollected,
         "exit_status": int(exitstatus),
     }
+    try:
+        # Keep the warm-leg figure across cold refreshes — the two
+        # legs are recorded by separate sessions.
+        previous_warm = json.loads(
+            BENCH_PERF_PATH.read_text()).get("warm_total_s")
+        if previous_warm is not None:
+            payload["warm_total_s"] = previous_warm
+    except (OSError, ValueError):
+        pass
     if _stage_snapshot is not None:
         # Per-stage breakdown of the speed path (compiled-kernel cache →
         # trace synthesis/recording → batched replay), so future PRs can

@@ -17,6 +17,30 @@ baseline stage like ``trace_record_s`` or ``metrics_plan_apply_s``
 *growing* past the floor is exactly what the floor-crossing check
 below exists for).
 
+Both session totals are guarded: ``benchmarks_total_s`` (cold-leaning
+full session) and, when the baseline records one, ``warm_total_s`` —
+the same session re-run against a hot store (see
+``benchmarks/conftest.py``'s ``REPRO_BENCH_RECORD_WARM`` mode) — so a
+cold-path win cannot mask a warm-path regression or vice versa.
+
+**The stage-accounting rule.**  ``per_stage_s`` entries are wall-clock
+seconds accumulated *in whichever process ran the stage*: every pool
+worker (model-replay jobs, plan prebuilds, tuning sweep points,
+service requests) snapshots the cumulative counters at job entry and
+reports the end-minus-start *delta*, which exactly one merge site
+folds back into the parent (``run_model_jobs`` per job, the sweep
+driver per reply, the service per request plus one drain-time residue
+merge per worker).  Deltas are disjoint by construction, so each
+stage-second is counted exactly once — never double-counted, never
+silently dropped.  Inline fallbacks accumulate directly and report no
+delta.  Two consequences for reading the numbers: (1) fanning work
+onto N workers does **not** shrink a stage's seconds — the workers'
+seconds merge back, and stage totals can exceed session wall-clock;
+parallel wins show up in ``benchmarks_total_s`` / ``warm_total_s``
+only.  (2) a stage second belongs to the stage that *ran*, wherever it
+ran — a plan prebuilt by ``prebuild_plans()`` lands in
+``metrics_plan_build_s`` exactly as an inline build would.
+
 Usage (as wired in .github/workflows/ci.yml)::
 
     python benchmarks/perf_guard.py \
@@ -50,6 +74,20 @@ def compare(baseline: dict, fresh: dict, threshold: float) -> list:
                 f"total {fresh_total:.3f}s exceeds {threshold:.2f}x "
                 f"baseline {base_total:.3f}s"
             )
+    base_warm = baseline.get("warm_total_s")
+    fresh_warm = fresh.get("warm_total_s")
+    if base_warm:
+        if fresh_warm is None:
+            failures.append("warm_total_s missing from the fresh record")
+        else:
+            print(f"warm_total_s: baseline {base_warm:.3f}s, "
+                  f"fresh {fresh_warm:.3f}s "
+                  f"({fresh_warm / base_warm:.2f}x)")
+            if fresh_warm > base_warm * threshold:
+                failures.append(
+                    f"warm total {fresh_warm:.3f}s exceeds "
+                    f"{threshold:.2f}x baseline {base_warm:.3f}s"
+                )
     base_harnesses = baseline.get("per_harness_s", {})
     fresh_harnesses = fresh.get("per_harness_s", {})
     slowest = sorted(base_harnesses, key=base_harnesses.get,

@@ -27,7 +27,29 @@ Switches:
   recomputed live on every invocation (counted as ``fallback``);
 * ``REPRO_METRICS_CHECK=1`` — cross-check mode: every cached-plan hit
   *also* rebuilds the plan from the live metrics plane and raises
-  :class:`MetricsPlanMismatch` on any divergence.
+  :class:`MetricsPlanMismatch` on any divergence;
+* ``REPRO_NO_INCREMENTAL_PLAN=1`` — kill switch for the incremental
+  build path: every build re-characterizes the cache hierarchy from
+  the live board state instead of resuming from a
+  :class:`PlanBuildCarrier` (results are bit-identical either way —
+  only first-run build latency changes).
+
+First-run builds are additionally *incremental* and *shared*:
+
+* a :class:`PlanBuildCarrier` (owned by a
+  :class:`~repro.execution.model_plan.ModelSession`) carries the LRU
+  classification state from one step's build to the next, so a model's
+  kernel sequence is characterized as one concatenated line stream —
+  each step is a single fused native call resuming from the previous
+  step's end-state (``plan_incremental_hits`` counts the resumed
+  builds);
+* the expensive state-independent sub-products of :func:`build_plan` —
+  copy-cost tables, line-stream tables, and the input/output
+  last-writer maps — live in a process-wide memo keyed by (trace
+  content digest, cache geometry/config), so repeated invocations of
+  the same kernel shape (ablation re-runs, tuning-sweep variants,
+  service requests) reuse them across board states instead of
+  rebuilding (``component_memo_hits`` / ``component_memo_misses``).
 
 Bit-identity: a plan is only ever applied when the fingerprint —
 covering every input of the metrics plane, including the floating-point
@@ -42,9 +64,10 @@ from __future__ import annotations
 import hashlib
 import os
 import pickle
+import threading
 import time
-from dataclasses import astuple
-from typing import Dict, List, Tuple
+from collections import OrderedDict
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -73,11 +96,18 @@ METRICS_PLAN_KILL_SWITCH = "REPRO_NO_METRICS_PLAN"
 #: every cache hit and raise MetricsPlanMismatch on divergence.
 METRICS_CHECK_ENV = "REPRO_METRICS_CHECK"
 
+#: Kill switch: set REPRO_NO_INCREMENTAL_PLAN=1 to disable the
+#: resumable cross-kernel classification carrier (every build then
+#: re-exports the LRU state from the live board).
+INCREMENTAL_PLAN_KILL_SWITCH = "REPRO_NO_INCREMENTAL_PLAN"
+
 #: On-disk MetricsPlan schema version.  Persisted next to (but
 #: independent of) the trace in every kernel-store payload: bump it
 #: whenever MetricsPlan changes shape so stale persisted plans are
-#: evicted (the trace and the lowered kernel still load).
-METRICS_PLAN_SCHEMA_VERSION = 1
+#: evicted (the trace and the lowered kernel still load).  Version 2:
+#: plans carry the precomputed winner tables (input word/tile writes,
+#: output writes) produced by the vectorized backward scans.
+METRICS_PLAN_SCHEMA_VERSION = 2
 
 #: How replays obtained their metrics plane this process:
 #: ``hits`` (a cached plan applied in O(state)), ``misses`` (built from
@@ -88,12 +118,21 @@ METRICS_PLAN_COUNTERS: Dict[str, int] = {
     "metrics_plan_hits": 0,
     "metrics_plan_misses": 0,
     "metrics_plan_fallback": 0,
+    #: Builds that resumed from a PlanBuildCarrier's warm LRU end-state
+    #: instead of re-exporting the cache hierarchy from the board.
+    "plan_incremental_hits": 0,
+    #: build_plan sub-product memo traffic (cost tables, stream tables,
+    #: winner maps — up to three lookups per build).
+    "component_memo_hits": 0,
+    "component_memo_misses": 0,
 }
 
 #: Cached plans kept per trace (distinct board states/layouts).
 _MAX_PLANS_PER_TRACE = 8
 
-#: Upper bound on cache-line stream entries classified per chunk.
+#: Upper bound on cache-line stream entries classified per chunk
+#: (Python-fallback classification only; the native path streams
+#: lines straight out of the group tables and never materializes them).
 _LINE_CHUNK = 1 << 24
 
 
@@ -105,9 +144,166 @@ def metrics_check_requested() -> bool:
     return os.environ.get(METRICS_CHECK_ENV, "") == "1"
 
 
+def incremental_plan_enabled() -> bool:
+    return os.environ.get(INCREMENTAL_PLAN_KILL_SWITCH, "") != "1"
+
+
 def reset_metrics_plan_counters() -> None:
     for key in METRICS_PLAN_COUNTERS:
         METRICS_PLAN_COUNTERS[key] = 0
+
+
+# -- the component memo -----------------------------------------------------
+#
+# build_plan's expensive sub-products are pure functions of the trace
+# *content* plus a handful of config scalars — never of the board
+# state.  They are memoized process-wide so distinct invocations that
+# share a kernel shape (ablation re-runs on a warmed board, sweep
+# points across flow/permutation variants with identical tilings,
+# repeated service requests) skip straight to classification+timeline.
+# Keys start from a content digest, not object identity, so digests of
+# GC'd traces can never alias a new trace's products.
+
+_COMPONENT_MEMO: "OrderedDict[tuple, tuple]" = OrderedDict()
+_COMPONENT_LOCK = threading.Lock()
+_MAX_COMPONENT_ENTRIES = 64
+_MAX_COMPONENT_BYTES = 192 << 20
+_component_bytes = 0
+
+
+def reset_component_memo() -> None:
+    """Drop all memoized build sub-products (test isolation hook)."""
+    global _component_bytes
+    with _COMPONENT_LOCK:
+        _COMPONENT_MEMO.clear()
+        _component_bytes = 0
+
+
+def _component_get(key):
+    with _COMPONENT_LOCK:
+        entry = _COMPONENT_MEMO.get(key)
+        if entry is not None:
+            _COMPONENT_MEMO.move_to_end(key)
+            METRICS_PLAN_COUNTERS["component_memo_hits"] += 1
+            return entry[0]
+    METRICS_PLAN_COUNTERS["component_memo_misses"] += 1
+    return None
+
+
+def _component_put(key, value, nbytes: int) -> None:
+    global _component_bytes
+    with _COMPONENT_LOCK:
+        if key in _COMPONENT_MEMO:
+            return
+        _COMPONENT_MEMO[key] = (value, nbytes)
+        _component_bytes += nbytes
+        while len(_COMPONENT_MEMO) > _MAX_COMPONENT_ENTRIES or (
+            _component_bytes > _MAX_COMPONENT_BYTES
+            and len(_COMPONENT_MEMO) > 1
+        ):
+            _, (_, dropped) = _COMPONENT_MEMO.popitem(last=False)
+            _component_bytes -= dropped
+
+
+def _trace_component_digest(trace) -> str:
+    """Content digest of every trace field the sub-products read.
+
+    Cached on the trace object as a plain hex string so it rides along
+    in both the pickle state (model/service workers) and the kernel
+    store's codec (warm processes): only the process that first
+    records or synthesizes a trace pays the hash pass.
+    """
+    digest = getattr(trace, "component_digest", None)
+    if digest is None:
+        # The digest only keys the in-process component memo, so a fast
+        # keyed hash beats a cryptographic one; blake2b is the quickest
+        # collision-resistant option in hashlib without SHA extensions.
+        h = hashlib.blake2b(digest_size=16)
+
+        def arr(a) -> None:
+            # Every hashed trace array is 1-D, so dtype char + length
+            # frame the payload unambiguously (str((dtype, shape)) cost
+            # more than the data hash for the typical small array).
+            a = np.ascontiguousarray(a)
+            h.update(a.dtype.char.encode())
+            h.update(a.size.to_bytes(8, "little"))
+            h.update(a)  # buffer protocol: no tobytes copy
+
+        h.update(pickle.dumps((trace.num_events, trace.recv_refs),
+                              protocol=4))
+        for a in (trace.kinds, trace.word_pos, trace.word_offsets,
+                  trace.word_values, trace.flush_pos, trace.flush_bytes,
+                  trace.recv_pos, trace.recv_bytes, trace.staged_is_word,
+                  trace.staged_values, trace.staged_indices,
+                  trace.staged_widths):
+            arr(a)
+        for side, classes in (("send", trace.send_classes),
+                              ("recv", trace.recv_classes)):
+            for tc in classes:
+                h.update(pickle.dumps(
+                    (side, tc.arg, tc.itemsize, bool(tc.accumulate),
+                     tuple(tc.sizes), tuple(tc.strides)), protocol=4))
+                arr(tc.starts)
+                arr(tc.region_offsets)
+                arr(tc.event_pos)
+        digest = h.hexdigest()
+        trace.component_digest = digest
+    return digest
+
+
+# -- the incremental build carrier ------------------------------------------
+
+class PlanBuildCarrier:
+    """Resumable cross-kernel LRU characterization state.
+
+    A :class:`~repro.execution.model_plan.ModelSession` owns one
+    carrier per board: after a step's build, the carrier keeps that
+    build's LRU end-state (native way arrays, or the Python fallback's
+    :class:`OfflineLruSimulator`), so the next step's build resumes
+    from it instead of re-exporting the hierarchy — the model's kernel
+    sequence is classified as one concatenated line stream.
+
+    Validity is checked against the live cache hit/miss counters:
+    every cache access changes them, so counters matching the value
+    recorded at the previous build (plus that plan's deltas, i.e. the
+    state after it was applied) proves the board's LRU state still
+    equals the carrier's.  Any mismatch — a per-tile fallback step, a
+    replayed fused-plan prefix, an interleaved foreign run — silently
+    reseeds from the board, which is always correct.
+    """
+
+    __slots__ = ("board", "_expected", "_ways1", "_ways2", "_sim")
+
+    def __init__(self, board):
+        self.board = board
+        self._expected: Optional[Tuple[int, int, int, int]] = None
+        self._ways1: Optional[np.ndarray] = None
+        self._ways2: Optional[np.ndarray] = None
+        self._sim: Optional[OfflineLruSimulator] = None
+
+    def _live_counts(self) -> Tuple[int, int, int, int]:
+        caches = self.board.caches
+        return (caches.l1.hits, caches.l1.misses,
+                caches.l2.hits, caches.l2.misses)
+
+    def valid(self) -> bool:
+        return (self._expected is not None
+                and self._expected == self._live_counts())
+
+    def _set_expected(self, totals) -> None:
+        live = self._live_counts()
+        self._expected = (live[0] + totals[0], live[1] + totals[1],
+                          live[2] + totals[2], live[3] + totals[3])
+
+    def adopt_native(self, ways1, ways2, totals) -> None:
+        self._ways1, self._ways2 = ways1, ways2
+        self._sim = None
+        self._set_expected(totals)
+
+    def adopt_sim(self, sim, totals) -> None:
+        self._sim = sim
+        self._ways1 = self._ways2 = None
+        self._set_expected(totals)
 
 
 class MetricsPlanMismatch(RuntimeError):
@@ -201,6 +397,18 @@ def diff_plans(left: MetricsPlan, right: MetricsPlan) -> List[str]:
 
 # -- fingerprinting ---------------------------------------------------------
 
+def _timing_sig(timing) -> tuple:
+    """``dataclasses.astuple`` minus the recursive deep-copy machinery.
+
+    ``TimingModel`` is a flat dataclass of scalars, so the instance
+    dict's values in field order *are* its astuple — at a fraction of
+    the cost (astuple showed up at ~0.25 ms per plan build).  The
+    resulting tuple is equal to astuple's, so fingerprints persisted
+    by earlier builds keep matching.
+    """
+    return tuple(vars(timing).values())
+
+
 def _cache_digest(cache) -> bytes:
     """Exact digest of one cache's LRU contents (order included)."""
     if cache.hits == 0 and cache.misses == 0:
@@ -217,7 +425,7 @@ def plan_fingerprint(ex, decode_key: Tuple) -> str:
     config = (
         METRICS_PLAN_SCHEMA_VERSION,
         decode_key,
-        astuple(board.timing),
+        _timing_sig(board.timing),
         (caches.l1.size_bytes, caches.l1.line_size, caches.l1.associativity),
         (caches.l2.size_bytes, caches.l2.line_size, caches.l2.associativity),
         caches.line_size,
@@ -270,10 +478,11 @@ def obtain_plan(ex, decode_key: Tuple) -> MetricsPlan:
     return plan
 
 
-def _timed_build(ex) -> MetricsPlan:
+def _timed_build(ex, carrier: Optional[PlanBuildCarrier] = None
+                 ) -> MetricsPlan:
     start = time.perf_counter()
     try:
-        return build_plan(ex)
+        return build_plan(ex, carrier)
     finally:
         add_stage_time("metrics_plan_build_s", time.perf_counter() - start)
 
@@ -331,21 +540,27 @@ def apply_plan(ex, plan: MetricsPlan) -> None:
 
 # -- plan construction ------------------------------------------------------
 
-def build_plan(ex) -> MetricsPlan:
+def build_plan(ex, carrier: Optional[PlanBuildCarrier] = None
+               ) -> MetricsPlan:
     """Evaluate the live metrics plane for one invocation into a plan.
 
     Reads board/cache/engine state but mutates nothing — the caller
     applies the result (and may instead diff it against a cached plan).
+    With a ``carrier`` (and the incremental path enabled), the LRU
+    characterization resumes from the carrier's warm end-state when it
+    still matches the board.
     """
     trace = ex.trace
     decoded = ex.plan
     board = ex.board
     plan = MetricsPlan()
+    if carrier is not None and not incremental_plan_enabled():
+        carrier = None
 
-    (counts, base_c, base_b, base_r, extra_c, extra_r,
-     groups) = _copy_cost_tables(ex)
+    cost = _cost_tables(ex)
+    stream = _stream_tables(ex, cost)
     (l1_hits_ev, l1_miss_ev, l2_miss_ev, l1_ways, l2_ways,
-     totals) = _classify_cache(ex, counts, groups)
+     totals) = _classify_cache(ex, cost.counts, stream, carrier)
     plan.l1_ways = l1_ways
     plan.l2_ways = l2_ways
     (plan.l1_hits_d, plan.l1_misses_d,
@@ -360,16 +575,17 @@ def build_plan(ex) -> MetricsPlan:
 
     # Final per-event cycles, with the same add chain as the live
     # charge paths (all quantities are exactly-representable sums,
-    # so elementwise evaluation is bit-identical).
+    # so elementwise evaluation is bit-identical).  The memoized base
+    # tables are never mutated: np.where allocates the working array,
+    # and the timeline gets private copies of the arrays it writes.
     kinds = trace.kinds
-    cyc = base_c
+    cyc = cost.base_c
     copy_mask = kinds == K_COPY
-    cyc = np.where(copy_mask, cyc + extra_c, cyc)
-    word_mask = kinds == K_WORD
-    cyc[word_mask] = 2.0
+    cyc = np.where(copy_mask, cyc + cost.extra_c, cyc)
     cyc = cyc + penalty
 
-    plan.final_state = _run_timeline(ex, cyc, base_b, base_r, extra_r)
+    plan.final_state = _run_timeline(ex, cyc, cost.base_b.copy(),
+                                     cost.base_r.copy(), cost.extra_r)
 
     plan.stats = {
         "dma_transactions": len(trace.flush_pos) + len(trace.recv_pos),
@@ -384,27 +600,63 @@ def build_plan(ex) -> MetricsPlan:
                                 + len(trace.recv_bytes)),
     }
 
-    _input_winners(ex, plan)
-    _output_winners(ex, plan)
+    (plan.input_word_dest, plan.input_word_values,
+     plan.input_tile_writes, plan.output_writes) = _winner_tables(ex)
     return plan
 
 
-def _copy_cost_tables(ex):
-    """Per-copy-event base costs and line-sequence blocks.
+class _CostTables:
+    """Memoized state-independent per-event cost tables of one build."""
+
+    __slots__ = ("counts", "base_c", "base_b", "base_r", "extra_c",
+                 "extra_r", "group_specs")
+
+    def nbytes(self) -> int:
+        total = sum(getattr(self, name).nbytes for name in
+                    ("counts", "base_c", "base_b", "base_r", "extra_c",
+                     "extra_r"))
+        for _, _, sub in self.group_specs:
+            for pos, sel, _ in sub:
+                total += pos.nbytes + sel.nbytes
+        return total
+
+
+def _cost_tables(ex) -> _CostTables:
+    """Per-copy-event base costs (and the alignment-group structure).
 
     Every quantity is computed with the same floating-point expressions
     as ``charge_memref_copy`` — per alignment group, via the shared
-    memoized copy plans.
+    memoized copy plans.  The result depends on descriptor/region
+    *alignments* (addresses mod line size), never on absolute
+    addresses, so the memo key folds the alignments in and the tables
+    are shared across invocations at different layouts.
     """
     trace = ex.trace
     board = ex.board
-    timing = board.timing
     line = board.caches.line_size
     style = ex.rt.copy_style
     region_bases = {False: ex.engine.input_region.base,
                     True: ex.engine.output_region.base}
+    align_sig = []
+    for is_recv, classes in ((False, trace.send_classes),
+                             (True, trace.recv_classes)):
+        for tile_class in classes:
+            desc = ex.descriptors[tile_class.arg]
+            align_sig.append((
+                (desc.base_address + desc.offset * tile_class.itemsize)
+                % line,
+                region_bases[is_recv] % line,
+            ))
+    key = ("cost", _trace_component_digest(trace),
+           _timing_sig(board.timing), line, style, ex.rt._call_cost,
+           tuple(align_sig))
+    cached = _component_get(key)
+    if cached is not None:
+        return cached
 
+    timing = board.timing
     M = trace.num_events
+    tables = _CostTables()
     counts = np.zeros(M, dtype=np.int64)
     counts[trace.word_pos] = 1
     base_c = np.zeros(M)
@@ -412,12 +664,12 @@ def _copy_cost_tables(ex):
     base_r = np.zeros(M)
     extra_c = np.zeros(M)
     extra_r = np.zeros(M)
-    groups = []  # (event_pos, src_lines, dst_lines, plan)
+    group_specs = []  # (is_recv, class_id, [(event_pos, sel, plan)])
 
     for is_recv, classes in ((False, trace.send_classes),
                              (True, trace.recv_classes)):
         region_base = region_bases[is_recv]
-        for tile_class in classes:
+        for class_id, tile_class in enumerate(classes):
             desc = ex.descriptors[tile_class.arg]
             sizes = tile_class.sizes
             strides = tile_class.strides
@@ -441,11 +693,12 @@ def _copy_cost_tables(ex):
             align_key = src_align * line + dst_align
             uniq, inverse = np.unique(align_key, return_inverse=True)
             accumulate = bool(tile_class.accumulate)
-            for g, key in enumerate(uniq):
-                sel = inverse == g
+            sub = []
+            for g, key_g in enumerate(uniq):
+                sel = np.flatnonzero(inverse == g)
                 copy_plan = plan_for_geometry(
-                    sizes, strides, itemsize, int(key // line),
-                    int(key % line), span_src, row_bytes, line,
+                    sizes, strides, itemsize, int(key_g // line),
+                    int(key_g % line), span_src, row_bytes, line,
                 )
                 pos = tile_class.event_pos[sel]
                 counts[pos] = copy_plan.num_lines
@@ -459,9 +712,138 @@ def _copy_cost_tables(ex):
                 if accumulate:
                     extra_c[pos] = c_extra
                     extra_r[pos] = r_extra
-                groups.append((pos, src_start[sel] // line,
-                               dst_start[sel] // line, copy_plan))
-    return counts, base_c, base_b, base_r, extra_c, extra_r, groups
+                sub.append((pos, sel, copy_plan))
+            group_specs.append((is_recv, class_id, sub))
+    # Kind-constant charges, prefetched into the memoized base tables
+    # so the per-build timeline prep needn't re-scan ``kinds``.  Event
+    # kinds are disjoint, none of these kinds carries copy charges, and
+    # the cache-penalty term is zero everywhere off copy/word events,
+    # so build_plan's ``base + penalty`` sum reproduces the live charge
+    # paths bit-for-bit (const + 0.0 == const).
+    kinds = trace.kinds
+    call_c, call_b = ex.rt._call_cost
+    init_cycles = timing.dma_init_s * timing.cpu_freq_hz
+    sel = kinds == K_LOOP
+    base_c[sel] = timing.loop_iteration_cycles
+    base_b[sel] = timing.loop_iteration_branches
+    base_c[kinds == K_SUB] = timing.subview_cycles
+    sel = kinds == K_CALL
+    base_c[sel] = call_c
+    base_b[sel] = call_b
+    sel = kinds == K_INIT
+    base_c[sel] = init_cycles
+    base_b[sel] = init_cycles / 100.0
+    sel = kinds == K_WORD
+    base_c[sel] = 2.0
+    base_r[sel] = 1.0
+    tables.counts = counts
+    tables.base_c = base_c
+    tables.base_b = base_b
+    tables.base_r = base_r
+    tables.extra_c = extra_c
+    tables.extra_r = extra_r
+    tables.group_specs = group_specs
+    _component_put(key, tables, tables.nbytes())
+    return tables
+
+
+class _StreamTables:
+    """Memoized absolute line streams of one build (layout-keyed).
+
+    ``groups`` holds the per-alignment-group absolute line starts (the
+    Python-fallback chunked classifier consumes them); ``flat()``
+    lazily assembles the concatenated per-event descriptor tables the
+    one-call native classifier consumes.
+    """
+
+    __slots__ = ("groups", "word_lines", "_flat")
+
+    def __init__(self, groups, word_lines):
+        self.groups = groups
+        self.word_lines = word_lines
+        self._flat = None
+
+    def nbytes(self) -> int:
+        total = self.word_lines.nbytes
+        for pos, src_lines, dst_lines, _ in self.groups:
+            total += pos.nbytes + src_lines.nbytes + dst_lines.nbytes
+        return total
+
+    def flat(self, trace):
+        flat = self._flat
+        if flat is None:
+            M = trace.num_events
+            ev_group = np.full(M, -2, dtype=np.int64)
+            ev_row = np.zeros(M, dtype=np.int64)
+            wp = trace.word_pos
+            ev_group[wp] = -1
+            ev_row[wp] = np.arange(wp.size, dtype=np.int64)
+            grp_off = np.zeros(len(self.groups), dtype=np.int64)
+            grp_width = np.zeros(len(self.groups), dtype=np.int64)
+            src_parts, dst_parts, fd_parts, rel_parts = [], [], [], []
+            row_base = 0
+            off = 0
+            for g, (pos, src_lines, dst_lines, copy_plan) in \
+                    enumerate(self.groups):
+                ev_group[pos] = g
+                ev_row[pos] = np.arange(pos.size, dtype=np.int64) \
+                    + row_base
+                row_base += pos.size
+                from_dst, rel = _fill_columns(copy_plan)
+                grp_off[g] = off
+                grp_width[g] = copy_plan.num_lines
+                off += copy_plan.num_lines
+                src_parts.append(src_lines)
+                dst_parts.append(dst_lines)
+                fd_parts.append(from_dst)
+                rel_parts.append(rel)
+
+            def cat(parts, dtype):
+                if not parts:
+                    return np.empty(0, dtype=dtype)
+                return np.ascontiguousarray(
+                    np.concatenate(parts).astype(dtype, copy=False))
+
+            flat = (ev_group, ev_row, grp_off, grp_width,
+                    cat(src_parts, np.int64), cat(dst_parts, np.int64),
+                    cat(fd_parts, np.uint8), cat(rel_parts, np.int64),
+                    np.ascontiguousarray(self.word_lines))
+            self._flat = flat
+        return flat
+
+
+def _stream_tables(ex, cost: _CostTables) -> _StreamTables:
+    """Absolute per-group line streams for one address layout."""
+    trace = ex.trace
+    board = ex.board
+    line = board.caches.line_size
+    key = ("stream", _trace_component_digest(trace), line,
+           ex.rt.copy_style,
+           tuple((d.base_address, d.offset) for d in ex.descriptors),
+           (ex.engine.input_region.base, ex.engine.output_region.base))
+    cached = _component_get(key)
+    if cached is not None:
+        return cached
+
+    region_bases = {False: ex.engine.input_region.base,
+                    True: ex.engine.output_region.base}
+    groups = []  # (event_pos, src_lines, dst_lines, plan)
+    for is_recv, class_id, sub in cost.group_specs:
+        classes = trace.recv_classes if is_recv else trace.send_classes
+        tile_class = classes[class_id]
+        desc = ex.descriptors[tile_class.arg]
+        itemsize = tile_class.itemsize
+        src_start = (desc.base_address
+                     + (desc.offset + tile_class.starts) * itemsize)
+        dst_start = region_bases[is_recv] + tile_class.region_offsets
+        for pos, sel, copy_plan in sub:
+            groups.append((pos, src_start[sel] // line,
+                           dst_start[sel] // line, copy_plan))
+    word_lines = (ex.engine.input_region.base
+                  + trace.word_offsets) // line
+    tables = _StreamTables(groups, word_lines)
+    _component_put(key, tables, tables.nbytes())
+    return tables
 
 
 def _fill_columns(copy_plan):
@@ -552,11 +934,30 @@ def _chunked_line_streams(ex, counts, groups):
         yield e0, e1, boundaries, lines
 
 
-def _classify_cache(ex, counts, groups):
+def _cache_is_cold(cache) -> bool:
+    """Whether every set is provably empty without walking them.
+
+    Same never-accessed invariant as ``_cache_digest``: zero hits and
+    misses since construction/reset (and no installed mirror) means no
+    line was ever inserted.  Most first-run plan builds start exactly
+    there, so the classify memo can key such states with a constant
+    instead of serializing two all-``-1`` way arrays.
+    """
+    return cache.hits == 0 and cache.misses == 0 \
+        and cache._ways_mirror is None
+
+
+def _classify_cache(ex, counts, stream: _StreamTables,
+                    carrier: Optional[PlanBuildCarrier] = None):
     """Classify the whole run's cache traffic without mutating state.
 
     Returns per-event (l1_hits, l1_miss, l2_miss) plus the final LRU
-    set dicts and (l1_hits, l1_misses, l2_hits, l2_misses) totals.
+    way arrays and (l1_hits, l1_misses, l2_hits, l2_misses) totals.
+    With a still-valid ``carrier``, classification resumes from the
+    carrier's warm end-state instead of exporting the hierarchy from
+    the board — the resumed state equals the board state by
+    construction (the previous plan was applied unchanged), so results
+    are bit-identical to a scratch build.
     """
     from ..soc import _native  # late bind: tests patch native_lib
 
@@ -572,36 +973,103 @@ def _classify_cache(ex, counts, groups):
         import ctypes
 
         i64p = ctypes.POINTER(ctypes.c_int64)
-        ways1 = _export_ways(l1)
-        ways2 = _export_ways(l2)
-        for e0, e1, boundaries, lines in \
-                _chunked_line_streams(ex, counts, groups):
-            bounds = np.ascontiguousarray(
-                boundaries[e0:e1 + 1] - boundaries[e0]
-            )
-            lib.lru_hierarchy_events(
-                lines.ctypes.data_as(i64p), bounds.ctypes.data_as(i64p),
-                e1 - e0,
-                ways1.ctypes.data_as(i64p), l1.num_sets, l1.associativity,
-                -1 if l1.set_mask is None else l1.set_mask,
-                ways2.ctypes.data_as(i64p), l2.num_sets, l2.associativity,
-                -1 if l2.set_mask is None else l2.set_mask,
-                l1_hits[e0:e1].ctypes.data_as(i64p),
-                l1_miss[e0:e1].ctypes.data_as(i64p),
-                l2_miss[e0:e1].ctypes.data_as(i64p),
-            )
+        carried = (carrier is not None and carrier._ways1 is not None
+                   and carrier.valid())
+        if carried:
+            METRICS_PLAN_COUNTERS["plan_incremental_hits"] += 1
+            ways1, ways2 = carrier._ways1, carrier._ways2
+            state_sig = (ways1.tobytes(), ways2.tobytes())
+        elif _cache_is_cold(l1) and _cache_is_cold(l2):
+            # Deferred: the all--1 arrays are only materialized on a
+            # memo miss.  Serializing them into the key would copy and
+            # hash ~l2-size bytes per build for the overwhelmingly
+            # common cold start.
+            ways1 = ways2 = None
+            state_sig = "cold"
+        else:
+            ways1 = _export_ways(l1)
+            ways2 = _export_ways(l2)
+            state_sig = (ways1.tobytes(), ways2.tobytes())
+        # The whole classification is a pure function of the absolute
+        # line streams (captured by the stream-table key fields), the
+        # hierarchy geometry, and the starting LRU contents — so its
+        # result is shared across entries through the component memo.
+        # Repeated replays of one shape re-fingerprint (the board's
+        # counters advanced) and rebuild their plan, but almost always
+        # from the same cold cache state: the expensive native pass
+        # runs once and later builds pay only the timeline.
+        cls_key = (
+            "cls", _trace_component_digest(ex.trace),
+            board.caches.line_size, ex.rt.copy_style,
+            tuple((d.base_address, d.offset) for d in ex.descriptors),
+            (ex.engine.input_region.base, ex.engine.output_region.base),
+            (l1.num_sets, l1.associativity, l1.set_mask),
+            (l2.num_sets, l2.associativity, l2.set_mask),
+            state_sig,
+        )
+        cached = _component_get(cls_key)
+        if cached is not None:
+            # Plans treat the ways/event arrays as read-only, so they
+            # share the memo masters; the carrier mutates its arrays
+            # in place on the next step and gets private copies.
+            (l1_hits, l1_miss, l2_miss, end1, end2, totals) = cached
+            if carrier is not None:
+                carrier.adopt_native(end1.copy(), end2.copy(), totals)
+            return l1_hits, l1_miss, l2_miss, end1, end2, totals
+        if ways1 is None:
+            ways1 = np.full(l1.num_sets * l1.associativity, -1,
+                            dtype=np.int64)
+            ways2 = np.full(l2.num_sets * l2.associativity, -1,
+                            dtype=np.int64)
+        (ev_group, ev_row, grp_off, grp_width, src_rows, dst_rows,
+         from_dst, rel, word_lines) = stream.flat(ex.trace)
+        lib.lru_copy_event_stream(
+            ev_group.ctypes.data_as(i64p), ev_row.ctypes.data_as(i64p),
+            M,
+            grp_off.ctypes.data_as(i64p), grp_width.ctypes.data_as(i64p),
+            src_rows.ctypes.data_as(i64p), dst_rows.ctypes.data_as(i64p),
+            from_dst.ctypes.data_as(ctypes.POINTER(ctypes.c_uint8)),
+            rel.ctypes.data_as(i64p), word_lines.ctypes.data_as(i64p),
+            ways1.ctypes.data_as(i64p), l1.num_sets, l1.associativity,
+            -1 if l1.set_mask is None else l1.set_mask,
+            ways2.ctypes.data_as(i64p), l2.num_sets, l2.associativity,
+            -1 if l2.set_mask is None else l2.set_mask,
+            l1_hits.ctypes.data_as(i64p),
+            l1_miss.ctypes.data_as(i64p),
+            l2_miss.ctypes.data_as(i64p),
+        )
         l1_hit_total = int(l1_hits.sum())
         l1_miss_total = int(l1_miss.sum())
         l2_miss_total = int(l2_miss.sum())
         totals = (l1_hit_total, l1_miss_total,
                   l1_miss_total - l2_miss_total, l2_miss_total)
+        # Memo masters are private copies of the end state — the
+        # carrier (and, via adopt, the next step) mutates its arrays
+        # in place, and the plan's arrays travel into the store.
+        end1, end2 = ways1.copy(), ways2.copy()
+        _component_put(
+            cls_key, (l1_hits, l1_miss, l2_miss, end1, end2, totals),
+            l1_hits.nbytes * 3 + end1.nbytes + end2.nbytes)
+        if carrier is not None:
+            # The carrier keeps the (in-place mutated) end-state for
+            # the next step; the plan gets private copies so later
+            # steps cannot corrupt it.
+            carrier.adopt_native(ways1, ways2, totals)
+            return l1_hits, l1_miss, l2_miss, end1, end2, totals
         return l1_hits, l1_miss, l2_miss, ways1, ways2, totals
 
     # Python fallback: the offline stack-distance classifier, with the
     # per-event attribution recovered by bincount over event ids.
-    sim = OfflineLruSimulator(board.caches)
+    carried = (carrier is not None and carrier._sim is not None
+               and carrier.valid())
+    if carried:
+        METRICS_PLAN_COUNTERS["plan_incremental_hits"] += 1
+        sim = carrier._sim
+    else:
+        sim = OfflineLruSimulator(board.caches)
+    base = sim.counts_snapshot()
     for e0, e1, boundaries, lines in \
-            _chunked_line_streams(ex, counts, groups):
+            _chunked_line_streams(ex, counts, stream.groups):
         event_ids = np.repeat(np.arange(e1 - e0), counts[e0:e1])
         l1_hit_mask, l2_hit_mask = sim.process(lines)
         miss_events = event_ids[~l1_hit_mask]
@@ -613,8 +1081,11 @@ def _classify_cache(ex, counts, groups):
                                       minlength=span)
     ways1 = _ways_from_sim_state(l1, sim._state[l1.name])
     ways2 = _ways_from_sim_state(l2, sim._state[l2.name])
-    c1, c2 = sim._counts[l1.name], sim._counts[l2.name]
-    totals = (c1[0], c1[1], c2[0], c2[1])
+    now = sim.counts_snapshot()
+    totals = (now[0] - base[0], now[1] - base[1],
+              now[2] - base[2], now[3] - base[3])
+    if carrier is not None:
+        carrier.adopt_sim(sim, totals)
     return l1_hits, l1_miss, l2_miss, ways1, ways2, totals
 
 
@@ -651,39 +1122,39 @@ def _run_timeline(ex, cyc, br, rf, rf2) -> np.ndarray:
     decoded = ex.plan
     M = trace.num_events
 
-    kinds = trace.kinds
-    call_c, call_b = ex.rt._call_cost
-    init_cycles = timing.dma_init_s * timing.cpu_freq_hz
-    sel = kinds == K_LOOP
-    cyc[sel] = timing.loop_iteration_cycles
-    br[sel] = timing.loop_iteration_branches
-    cyc[kinds == K_SUB] = timing.subview_cycles
-    sel = kinds == K_CALL
-    cyc[sel] = call_c
-    br[sel] = call_b
-    sel = kinds == K_INIT
-    cyc[sel] = init_cycles
-    br[sel] = init_cycles / 100.0
-    rf[kinds == K_WORD] = 1.0
-    sync = np.zeros(M, dtype=np.int8)
-    sync[kinds == K_FLUSH] = 1
-    sync[kinds == K_RECV] = 2
-    if ex.double_buffered:
-        sync[kinds == K_RWAIT] = 3
-    cyc[kinds == K_FLUSH] = 0.0
-    cyc[kinds == K_RECV] = 0.0
-
-    taux = np.zeros(M)
-    acaux = np.zeros(M)
-    t_flush = trace.flush_bytes / timing.axi_bytes_per_cycle
-    t_flush = t_flush / timing.accel_freq_hz
-    t_flush = timing.dma_latency_s + t_flush
-    taux[trace.flush_pos] = t_flush
-    acaux[trace.flush_pos] = np.asarray(decoded.flush_cycles)
-    t_recv = trace.recv_bytes / timing.axi_bytes_per_cycle
-    t_recv = t_recv / timing.accel_freq_hz
-    t_recv = timing.dma_latency_s + t_recv
-    taux[trace.recv_pos] = t_recv
+    # The kind-constant cycle/branch/reference charges are prefilled
+    # into the memoized cost tables (see _cost_tables), so the only
+    # per-build prep left is the synchronization/aux tables — content-
+    # pure as well, hence memoized alongside the other components.
+    # All three arrays are read-only for both timeline backends.
+    flush_cycles = np.ascontiguousarray(decoded.flush_cycles,
+                                        dtype=np.float64)
+    tl_key = ("tl", _trace_component_digest(trace),
+              _timing_sig(timing), bool(ex.double_buffered),
+              flush_cycles.tobytes())
+    cached = _component_get(tl_key)
+    if cached is not None:
+        sync, taux, acaux = cached
+    else:
+        kinds = trace.kinds
+        sync = np.zeros(M, dtype=np.int8)
+        sync[kinds == K_FLUSH] = 1
+        sync[kinds == K_RECV] = 2
+        if ex.double_buffered:
+            sync[kinds == K_RWAIT] = 3
+        taux = np.zeros(M)
+        acaux = np.zeros(M)
+        t_flush = trace.flush_bytes / timing.axi_bytes_per_cycle
+        t_flush = t_flush / timing.accel_freq_hz
+        t_flush = timing.dma_latency_s + t_flush
+        taux[trace.flush_pos] = t_flush
+        acaux[trace.flush_pos] = flush_cycles
+        t_recv = trace.recv_bytes / timing.axi_bytes_per_cycle
+        t_recv = t_recv / timing.accel_freq_hz
+        t_recv = timing.dma_latency_s + t_recv
+        taux[trace.recv_pos] = t_recv
+        _component_put(tl_key, (sync, taux, acaux),
+                       sync.nbytes + taux.nbytes + acaux.nbytes)
 
     f = timing.cpu_freq_hz
     af = timing.accel_freq_hz
@@ -791,16 +1262,115 @@ def _run_timeline(ex, cyc, br, rf, rf2) -> np.ndarray:
 
 # -- region-write summaries -------------------------------------------------
 
-def _input_winners(ex, plan: MetricsPlan) -> None:
-    """Last-writer index map of the DMA input staging region.
+#: Upper bound on the expanded-word budget of one backward block in
+#: the winner scans.  The actual block scales with the region's used
+#: span: coverage completes within roughly one loop body's worth of
+#: writes (the staged offsets repeat every loop iteration), so a block
+#: of a few times ``used_words`` almost always finishes in one pass —
+#: a fixed large block would expand and sort the whole stream suffix
+#: only to discard everything past the covered span.
+_WINNER_BLOCK_WORDS = 1 << 19
+_WINNER_BLOCK_MIN_WORDS = 1 << 12
+
+
+def _winner_tables(ex):
+    """Last-writer index maps of both DMA staging regions (memoized).
 
     The staged regions are write-before-read per flush, so their final
     contents never influence later runs; the winning writes are
-    precomputed here (bounded backward scan over the staged-item
-    stream) so each invocation rebuilds the region with a handful of
-    vectorized writes — for debugging fidelity, exactly matching the
-    per-tile path's end state.
+    precomputed (a blocked backward last-writer scan over the staged
+    item stream) so each invocation rebuilds the region with a handful
+    of vectorized writes — for debugging fidelity, exactly matching
+    the per-tile path's end state.  Pure trace+region-size data, so
+    memoized across invocations and layouts.
     """
+    trace = ex.trace
+    key = ("win", _trace_component_digest(trace),
+           ex.engine.input_words.size, ex.engine.output_words.size)
+    cached = _component_get(key)
+    if cached is not None:
+        return cached
+    word_dest, word_vals, tile_writes = _input_winners(ex)
+    output_writes = _output_winners(ex)
+    value = (word_dest, word_vals, tile_writes, output_writes)
+    nbytes = word_dest.nbytes + word_vals.nbytes
+    for _, tiles, dest, src in tile_writes:
+        nbytes += tiles.nbytes + dest.nbytes + src.nbytes
+    for _, dest, rel in output_writes:
+        nbytes += dest.nbytes + rel.nbytes
+    _component_put(key, value, nbytes)
+    return value
+
+
+def _scan_last_writers(fill_starts, widths, region_words, used_words):
+    """Backward blocked last-writer scan.
+
+    Returns ``(winner, starts)``: per region word, the highest item
+    index whose span covers it among the items examined — identical to
+    the scalar backward "first uncovered write wins" scan (an item's
+    span always lies inside the used span, so the early exit only
+    skips items that could not have won anything).  Item start words
+    are produced lazily per scanned block by ``fill_starts(starts, lo,
+    hi)`` — coverage completes within roughly one loop body's worth of
+    writes, so the scan (and the start-word computation) touches only
+    a suffix of the stream; ``starts`` is valid for every winning item.
+    """
+    n = widths.size
+    winner = np.full(region_words, -1, dtype=np.int64)
+    starts = np.zeros(n, dtype=np.int64)
+    if used_words <= 0 or not n:
+        return winner, starts
+    block = max(_WINNER_BLOCK_MIN_WORDS,
+                min(_WINNER_BLOCK_WORDS, 4 * used_words))
+    ends = np.cumsum(widths)
+    covered = 0
+    hi = n
+    while hi > 0 and covered < used_words:
+        base = int(ends[hi - 1])
+        lo = int(np.searchsorted(ends, base - block, side="left"))
+        if lo >= hi:
+            lo = hi - 1
+        first = int(ends[lo - 1]) if lo else 0
+        total = int(ends[hi - 1]) - first
+        if total <= 0:
+            hi = lo
+            continue
+        fill_starts(starts, lo, hi)
+        wd = widths[lo:hi]
+        item_ids = np.repeat(np.arange(lo, hi, dtype=np.int64), wd)
+        item_start = np.repeat(ends[lo:hi] - wd, wd)
+        pos = np.repeat(starts[lo:hi], wd) \
+            + (np.arange(first, first + total, dtype=np.int64)
+               - item_start)
+        # Last writer per word within the block: stable sort keeps the
+        # expansion (= ascending item) order inside equal positions, so
+        # the run's final element is the block's highest writer.
+        order = np.argsort(pos, kind="stable")
+        pos_sorted = pos[order]
+        ids_sorted = item_ids[order]
+        run_last = np.flatnonzero(
+            np.append(pos_sorted[1:] != pos_sorted[:-1], True))
+        pos_uniq = pos_sorted[run_last]
+        ids_uniq = ids_sorted[run_last]
+        # Later blocks (higher items) were scanned first and always win.
+        free = winner[pos_uniq] < 0
+        winner[pos_uniq[free]] = ids_uniq[free]
+        covered += int(free.sum())
+        hi = lo
+    return winner, starts
+
+
+def _winning_items(winner):
+    """Winning (item, word) pairs ordered like the scalar backward scan:
+    descending item index, ascending word position within an item."""
+    win_pos = np.flatnonzero(winner >= 0)
+    win_ids = winner[win_pos]
+    order = np.argsort(-win_ids, kind="stable")
+    return win_ids[order], win_pos[order]
+
+
+def _input_winners(ex):
+    """Last-writer index map of the DMA input staging region."""
     trace = ex.trace
     input_used = 0
     if trace.word_offsets.size:
@@ -813,64 +1383,63 @@ def _input_winners(ex, plan: MetricsPlan) -> None:
                 + tile_class.num_elements() * tile_class.itemsize,
             )
     used_words = input_used // 4
-    covered = np.zeros(ex.engine.input_words.size, dtype=bool)
-    covered_count = 0
-    word_dest: List[int] = []
-    word_vals: List[int] = []
-    per_class: Dict[int, List] = {}
-    is_word = trace.staged_is_word.tolist()
-    values = trace.staged_values.tolist()
-    indices = trace.staged_indices.tolist()
-    widths = trace.staged_widths.tolist()
-    word_offsets = trace.word_offsets.tolist()
-    word_values = trace.word_values.tolist()
-    word_cursor = len(word_offsets)
-    region_offset_arrays = [tc.region_offsets for tc in trace.send_classes]
 
-    for i in range(len(is_word) - 1, -1, -1):
-        if covered_count >= used_words:
-            # The staged offsets repeat every loop iteration, so
-            # coverage of the used span completes within roughly one
-            # loop body's worth of writes.
-            break
-        if is_word[i]:
-            word_cursor -= 1
-            start = word_offsets[word_cursor] // 4
-            if not covered[start]:
-                covered[start] = True
-                covered_count += 1
-                word_dest.append(start)
-                word_vals.append(word_values[word_cursor] & 0xFFFFFFFF)
-        else:
-            class_id = values[i]
-            index = indices[i]
-            words = widths[i]
-            start = int(region_offset_arrays[class_id][index]) // 4
-            sel = ~covered[start:start + words]
-            if sel.any():
-                rel = np.flatnonzero(sel)
-                entry = per_class.setdefault(class_id, [[], [], []])
-                row = len(entry[0])
-                entry[0].append(index)
-                entry[1].append(start + rel)
-                entry[2].append(row * words + rel)
-                covered[start:start + words] = True
-                covered_count += int(rel.size)
-    plan.input_word_dest = np.asarray(word_dest, dtype=np.int64)
-    plan.input_word_values = np.asarray(word_vals, dtype=np.uint32) \
-        if word_vals else np.empty(0, dtype=np.uint32)
-    plan.input_tile_writes = [
-        (class_id,
-         np.asarray(entry[0], dtype=np.int64),
-         np.concatenate(entry[1]) if entry[1]
-         else np.empty(0, dtype=np.int64),
-         np.concatenate(entry[2]) if entry[2]
-         else np.empty(0, dtype=np.int64))
-        for class_id, entry in sorted(per_class.items())
-    ]
+    is_word = trace.staged_is_word.astype(bool)
+    widths = np.where(is_word, 1, trace.staged_widths).astype(np.int64)
+    word_ordinal = np.cumsum(is_word) - 1
+
+    def fill_starts(starts, lo, hi):
+        iw = is_word[lo:hi]
+        if iw.any():
+            starts[lo:hi][iw] = \
+                trace.word_offsets[word_ordinal[lo:hi][iw]] // 4
+        values = trace.staged_values[lo:hi]
+        indices = trace.staged_indices[lo:hi]
+        tiles = ~iw
+        for class_id in np.unique(values[tiles]):
+            sel = tiles & (values == class_id)
+            starts[lo:hi][sel] = (trace.send_classes[class_id]
+                                  .region_offsets[indices[sel]] // 4)
+
+    winner, starts = _scan_last_writers(
+        fill_starts, widths, ex.engine.input_words.size, used_words)
+    ids, pos = _winning_items(winner)
+    word_sel = is_word[ids] if ids.size else \
+        np.empty(0, dtype=bool)
+    word_dest = pos[word_sel]
+    if word_dest.size:
+        word_vals = (trace.word_values[word_ordinal[ids[word_sel]]]
+                     & 0xFFFFFFFF).astype(np.uint32)
+    else:
+        word_vals = np.empty(0, dtype=np.uint32)
+
+    tile_writes: List[Tuple] = []
+    tile_ids = ids[~word_sel]
+    tile_pos = pos[~word_sel]
+    if tile_ids.size:
+        classes = trace.staged_values[tile_ids]
+        for class_id in np.unique(classes):
+            in_class = classes == class_id
+            ids_c = tile_ids[in_class]
+            pos_c = tile_pos[in_class]
+            first = np.empty(ids_c.size, dtype=bool)
+            first[0] = True
+            first[1:] = ids_c[1:] != ids_c[:-1]
+            row_of = np.cumsum(first) - 1
+            rows = ids_c[first]
+            rel = pos_c - starts[rows][row_of]
+            src = row_of * widths[rows][row_of] + rel
+            tile_writes.append((
+                int(class_id),
+                trace.staged_indices[rows].astype(np.int64, copy=False),
+                pos_c,
+                src,
+            ))
+    return (word_dest.astype(np.int64, copy=False), word_vals,
+            tile_writes)
 
 
-def _output_winners(ex, plan: MetricsPlan) -> None:
+def _output_winners(ex):
     """Last-writer index map of the DMA output staging region."""
     trace = ex.trace
     output_used = 0
@@ -882,21 +1451,32 @@ def _output_winners(ex, plan: MetricsPlan) -> None:
                 + tile_class.num_elements() * tile_class.itemsize,
             )
     used_words = output_used // 4
-    covered = np.zeros(ex.engine.output_words.size, dtype=bool)
-    covered_count = 0
-    writes = []
-    recv_bytes = trace.recv_bytes.tolist()
-    for ordinal in range(len(trace.recv_refs) - 1, -1, -1):
-        if covered_count >= used_words:
-            break
-        class_id, index = trace.recv_refs[ordinal]
-        tile_class = trace.recv_classes[class_id]
-        start = int(tile_class.region_offsets[index]) // 4
-        words = recv_bytes[ordinal] // 4
-        sel = ~covered[start:start + words]
-        if sel.any():
-            rel = np.flatnonzero(sel)
-            writes.append((ordinal, start + rel, rel))
-            covered[start:start + words] = True
-            covered_count += int(rel.size)
-    plan.output_writes = writes
+
+    refs = trace.recv_refs
+    widths = (trace.recv_bytes // 4).astype(np.int64)
+
+    def fill_starts(starts, lo, hi):
+        span = hi - lo
+        cls = np.fromiter((refs[i][0] for i in range(lo, hi)),
+                          dtype=np.int64, count=span)
+        idx = np.fromiter((refs[i][1] for i in range(lo, hi)),
+                          dtype=np.int64, count=span)
+        for class_id in np.unique(cls):
+            sel = cls == class_id
+            starts[lo:hi][sel] = (trace.recv_classes[class_id]
+                                  .region_offsets[idx[sel]] // 4)
+
+    winner, starts = _scan_last_writers(
+        fill_starts, widths, ex.engine.output_words.size, used_words)
+    ids, pos = _winning_items(winner)
+    writes: List[Tuple] = []
+    if ids.size:
+        first = np.empty(ids.size, dtype=bool)
+        first[0] = True
+        first[1:] = ids[1:] != ids[:-1]
+        seg = np.flatnonzero(first)
+        seg_end = np.append(seg[1:], ids.size)
+        for s, e, ordinal in zip(seg, seg_end, ids[first]):
+            dest = pos[s:e]
+            writes.append((int(ordinal), dest, dest - starts[ordinal]))
+    return writes

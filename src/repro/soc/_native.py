@@ -4,10 +4,14 @@ Four loops in the trace/replay machinery are inherently sequential and
 dominate its runtime when executed in Python:
 
 * the set-associative LRU state machine over the run's full cache-line
-  stream (integer decisions only) — both the flat per-line variant and
-  the event-fused variant the metrics-plane build uses (per-event
-  hit/miss tallies accumulated inside the same pass, so the first-run
-  timeline+LRU fusion needs no Python-side repeat/bincount step);
+  stream (integer decisions only) — the flat per-line variant, the
+  event-fused variant (per-event hit/miss tallies accumulated inside
+  the same pass, so the first-run timeline+LRU fusion needs no
+  Python-side repeat/bincount step), and the descriptor-driven variant
+  ``lru_copy_event_stream`` the metrics-plane build uses: it generates
+  each copy event's lines on the fly from the alignment-group tables,
+  so a whole build is one native call with no materialized line
+  stream;
 * the timeline replay (the exact chain of clock/stall/accelerator
   floating-point operations, where summation order fixes the bits);
 * the accelerator stream decoders (matmul and conv control units):
@@ -124,6 +128,92 @@ void lru_hierarchy_events(const int64_t *lines, const int64_t *bounds,
             for (int64_t j = 0; j < a2; j++) {
                 if (w2[j] == line) {
                     for (int64_t k = j; k > 0; k--) w2[k] = w2[k - 1];
+                    w2[0] = line;
+                    found = 1;
+                    break;
+                }
+            }
+            if (found) continue;
+            for (int64_t k = a2 - 1; k > 0; k--) w2[k] = w2[k - 1];
+            w2[0] = line;
+            mi2++;
+        }
+        l1_hits[e] += h1;
+        l1_miss[e] += mi1;
+        l2_miss[e] += mi2;
+    }
+}
+
+/* One-call fused classification of a whole metrics-plane build: the
+ * same LRU hierarchy state machine as lru_hierarchy_events, but the
+ * line stream is generated on the fly from per-event descriptors
+ * instead of being materialized by fill_copy_lines first (no O(lines)
+ * temporary, no chunking).  ev_group[e] is the event's alignment-group
+ * id (-1 = single staged word, -2 = no cache traffic); ev_row[e]
+ * indexes the concatenated src/dst line-start arrays for copy events,
+ * or word_lines for word events.  Column j of group g is
+ * src+rel[grp_off[g]+j] or dst+rel[grp_off[g]+j] depending on
+ * from_dst, exactly like fill_copy_lines, so the touch order (and
+ * therefore every LRU decision) is identical to the two-pass path.
+ * A touch of the line accessed immediately before is short-circuited
+ * to an L1 hit without consulting the way arrays: the previous access
+ * left that line at MRU of its L1 set, so the full lookup would count
+ * a hit and shift nothing.  Staged-word streams are dominated by such
+ * runs (16 consecutive words per 64-byte line). */
+void lru_copy_event_stream(const int64_t *ev_group, const int64_t *ev_row,
+                           int64_t n_events,
+                           const int64_t *grp_off, const int64_t *grp_width,
+                           const int64_t *src_rows, const int64_t *dst_rows,
+                           const uint8_t *from_dst, const int64_t *rel,
+                           const int64_t *word_lines,
+                           int64_t *s1, int64_t ns1, int64_t a1, int64_t m1,
+                           int64_t *s2, int64_t ns2, int64_t a2, int64_t m2,
+                           int64_t *l1_hits, int64_t *l1_miss,
+                           int64_t *l2_miss)
+{
+    int64_t last = INT64_MIN;
+    for (int64_t e = 0; e < n_events; e++) {
+        int64_t g = ev_group[e];
+        if (g == -2) continue;
+        int64_t width, off = 0, src = 0, dst = 0;
+        if (g == -1) {
+            int64_t line = word_lines[ev_row[e]];
+            if (line == last) { l1_hits[e] += 1; continue; }
+            width = 1;
+            src = line;
+        } else {
+            width = grp_width[g];
+            off = grp_off[g];
+            src = src_rows[ev_row[e]];
+            dst = dst_rows[ev_row[e]];
+        }
+        int64_t h1 = 0, mi1 = 0, mi2 = 0;
+        for (int64_t j = 0; j < width; j++) {
+            int64_t line = (g == -1) ? src
+                : ((from_dst[off + j] ? dst : src) + rel[off + j]);
+            if (line == last) { h1++; continue; }
+            last = line;
+            int64_t set = (m1 >= 0) ? (line & m1) : (line % ns1);
+            int64_t *w = s1 + set * a1;
+            int found = 0;
+            for (int64_t j1 = 0; j1 < a1; j1++) {
+                if (w[j1] == line) {
+                    for (int64_t k = j1; k > 0; k--) w[k] = w[k - 1];
+                    w[0] = line;
+                    found = 1;
+                    break;
+                }
+            }
+            if (found) { h1++; continue; }
+            for (int64_t k = a1 - 1; k > 0; k--) w[k] = w[k - 1];
+            w[0] = line;
+            mi1++;
+            set = (m2 >= 0) ? (line & m2) : (line % ns2);
+            int64_t *w2 = s2 + set * a2;
+            found = 0;
+            for (int64_t j2 = 0; j2 < a2; j2++) {
+                if (w2[j2] == line) {
+                    for (int64_t k = j2; k > 0; k--) w2[k] = w2[k - 1];
                     w2[0] = line;
                     found = 1;
                     break;
@@ -583,6 +673,14 @@ def native_lib() -> Optional[ctypes.CDLL]:
             i64p, i64p, i64p,
         ]
         lib.lru_hierarchy_events.restype = None
+        lib.lru_copy_event_stream.argtypes = [
+            i64p, i64p, ctypes.c_int64,
+            i64p, i64p, i64p, i64p, u8p, i64p, i64p,
+            i64p, ctypes.c_int64, ctypes.c_int64, ctypes.c_int64,
+            i64p, ctypes.c_int64, ctypes.c_int64, ctypes.c_int64,
+            i64p, i64p, i64p,
+        ]
+        lib.lru_copy_event_stream.restype = None
         lib.fill_copy_lines.argtypes = [
             i64p, ctypes.c_int64, i64p, i64p, u8p, i64p,
             ctypes.c_int64, i64p,

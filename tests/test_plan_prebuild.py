@@ -1,0 +1,157 @@
+"""Parallel plan prebuilding (repro.execution.prebuild) + service warmup.
+
+The contract under test: :func:`prebuild_plans` pays a spec's whole
+cold path (compile, trace, metrics-plan build) up front — persisting
+the artifacts into the shared store so a later real run of the same
+shape is a pure warm hit — without changing a single bit of what that
+run produces.  Per-spec failures are data, worker counter deltas merge
+back into the parent's diagnostics, and the ``warmup`` RPC exposes the
+same machinery over the service wire.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.execution import (
+    METRICS_PLAN_COUNTERS,
+    PREBUILD_WORKERS_ENV,
+    prebuild_plans,
+    prebuild_workers,
+)
+from repro.service import errors as service_errors
+from repro.service.client import ServiceClient
+from repro.service.server import ServiceServer, service_counters
+from repro.service.worker import run_request
+
+
+def _matmul_spec(m=16, n=16, k=16, **extra):
+    spec = {"kind": "matmul", "m": m, "n": n, "k": k,
+            "size": 8, "version": 3, "flow": "Ns"}
+    spec.update(extra)
+    return spec
+
+
+def _matmul_inputs(m=16, n=16, k=16, seed=11):
+    rng = np.random.default_rng(seed)
+    return [rng.integers(-7, 7, (m, k)).astype(np.int32),
+            rng.integers(-7, 7, (k, n)).astype(np.int32)]
+
+
+class TestPrebuildPlans:
+    def test_prebuild_then_run_is_warm(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_KERNEL_CACHE_DIR", str(tmp_path))
+        summaries = prebuild_plans([_matmul_spec()])
+        assert summaries[0]["ok"] and summaries[0]["kind"] == "matmul"
+        # The real run (real inputs this time) finds everything warm:
+        # the plan was persisted keyed by shape/configuration, never by
+        # input values, so the zero-input prebuild warms it exactly.
+        before = dict(METRICS_PLAN_COUNTERS)
+        a, b = _matmul_inputs()
+        counters, output = run_request(_matmul_spec(inputs=[a, b]))
+        assert np.array_equal(
+            output, a.astype(np.int64) @ b.astype(np.int64))
+        assert METRICS_PLAN_COUNTERS["metrics_plan_hits"] \
+            > before["metrics_plan_hits"]
+        assert METRICS_PLAN_COUNTERS["metrics_plan_misses"] \
+            == before["metrics_plan_misses"]
+
+    def test_prebuilt_run_bit_identical_to_cold(self, monkeypatch,
+                                                tmp_path):
+        a, b = _matmul_inputs(seed=29)
+        spec = _matmul_spec(inputs=[a, b])
+
+        monkeypatch.setenv("REPRO_KERNEL_CACHE_DIR",
+                           str(tmp_path / "cold"))
+        cold_counters, cold_output = run_request(dict(spec))
+
+        monkeypatch.setenv("REPRO_KERNEL_CACHE_DIR",
+                           str(tmp_path / "warm"))
+        prebuild_plans([_matmul_spec()])
+        warm_counters, warm_output = run_request(dict(spec))
+
+        assert warm_counters.as_dict() == cold_counters.as_dict()
+        assert warm_output.tobytes() == cold_output.tobytes()
+
+    def test_bad_spec_is_reported_not_raised(self, monkeypatch,
+                                             tmp_path):
+        monkeypatch.setenv("REPRO_KERNEL_CACHE_DIR", str(tmp_path))
+        summaries = prebuild_plans([{"kind": "bogus"}, _matmul_spec()])
+        assert not summaries[0]["ok"]
+        assert "bogus" in summaries[0]["error"]
+        assert summaries[1]["ok"]
+
+    def test_pool_matches_inline_and_merges_deltas(self, monkeypatch,
+                                                   tmp_path):
+        specs = [_matmul_spec(), _matmul_spec(m=32)]
+        monkeypatch.setenv("REPRO_KERNEL_CACHE_DIR",
+                           str(tmp_path / "inline"))
+        inline = prebuild_plans(specs, workers=1)
+
+        monkeypatch.setenv("REPRO_KERNEL_CACHE_DIR",
+                           str(tmp_path / "pool"))
+        monkeypatch.setenv(PREBUILD_WORKERS_ENV, "2")
+        before = dict(METRICS_PLAN_COUNTERS)
+        pooled = prebuild_plans(specs)
+        assert pooled == inline
+        # The forked workers' plan lookups merged back into this
+        # process's counters — the accounting rule perf_guard
+        # documents.  (They are hits here, not misses: the children
+        # inherit the inline leg's in-memory caches across the fork.)
+        served = before["metrics_plan_misses"] + before["metrics_plan_hits"]
+        assert METRICS_PLAN_COUNTERS["metrics_plan_misses"] \
+            + METRICS_PLAN_COUNTERS["metrics_plan_hits"] \
+            >= served + len(specs)
+
+    def test_empty_spec_list_is_a_no_op(self):
+        assert prebuild_plans([]) == []
+
+
+class TestEnvKnob:
+    def test_malformed_prebuild_workers_warns_once(self, monkeypatch):
+        monkeypatch.setenv(PREBUILD_WORKERS_ENV, "a-few")
+        with pytest.warns(RuntimeWarning, match=PREBUILD_WORKERS_ENV):
+            assert prebuild_workers() >= 1
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            prebuild_workers()  # second read: no second warning
+
+    def test_workers_clamped_to_minimum(self, monkeypatch):
+        monkeypatch.setenv(PREBUILD_WORKERS_ENV, "0")
+        assert prebuild_workers() == 1
+
+    def test_unset_defaults_to_cpu_bound(self, monkeypatch):
+        monkeypatch.delenv(PREBUILD_WORKERS_ENV, raising=False)
+        assert 1 <= prebuild_workers() <= 4
+
+
+class TestServiceWarmup:
+    def test_warmup_rpc_prebuilds_and_reports(self, monkeypatch,
+                                              tmp_path):
+        monkeypatch.setenv("REPRO_KERNEL_CACHE_DIR", str(tmp_path))
+        server = ServiceServer(workers=1, queue_max=4).start()
+        try:
+            with ServiceClient(server.address) as client:
+                results = client.warmup([_matmul_spec(),
+                                         {"kind": "bogus"}])
+                assert results[0]["ok"]
+                assert not results[1]["ok"]
+                a, b = _matmul_inputs(seed=7)
+                reply = client.submit(_matmul_spec(inputs=[a, b]))
+                assert np.array_equal(
+                    reply["output"],
+                    a.astype(np.int64) @ b.astype(np.int64))
+            assert service_counters()["service_warmups"] == 1
+        finally:
+            server.drain()
+
+    def test_warmup_rejects_malformed_specs(self):
+        server = ServiceServer(workers=1, queue_max=4).start()
+        try:
+            with ServiceClient(server.address,
+                               max_attempts=1) as client:
+                with pytest.raises(service_errors.BadRequest):
+                    client.warmup(["not-a-dict"])
+        finally:
+            server.drain()
